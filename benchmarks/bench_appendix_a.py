@@ -1,0 +1,50 @@
+"""Appendix A: the effect of bit width on T-complexity.
+
+The paper's simplifying assumption: bit width contributes an orthogonal,
+multiplicative factor — control-flow costs persist at every width.  We
+compile ``length`` at fixed depth across word widths and check that
+
+* T-complexity grows with width (the multiplicative factor), and
+* the control-flow blowup (T before / T after Spire) persists at every
+  width, i.e. is not an artifact of narrow words.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.benchsuite import BenchmarkRunner
+from repro.config import CompilerConfig
+
+WIDTHS = [2, 3, 4, 5]
+DEPTH = 4
+
+
+def test_appendix_a_width_scaling():
+    rows = []
+    ratios = []
+    t_by_width = []
+    for width in WIDTHS:
+        config = CompilerConfig(word_width=width, addr_width=3, heap_cells=6)
+        runner = BenchmarkRunner(config)
+        before = runner.measure("length", DEPTH, "none").t
+        after = runner.measure("length", DEPTH, "spire").t
+        ratio = before / after
+        ratios.append(ratio)
+        t_by_width.append(before)
+        rows.append([width, before, after, f"{ratio:.1f}x"])
+    print_table(
+        f"Appendix A: length at n={DEPTH} across word widths",
+        ["word bits", "T before", "T after Spire", "blowup"],
+        rows,
+    )
+    # the multiplicative width factor
+    assert t_by_width == sorted(t_by_width)
+    # the control-flow blowup persists at every width
+    assert all(r > 2.0 for r in ratios)
+
+
+def test_appendix_a_benchmark(benchmark):
+    config = CompilerConfig(word_width=4, addr_width=3, heap_cells=6)
+    runner = BenchmarkRunner(config)
+    benchmark(lambda: runner.measure("length", 3, "none"))

@@ -1,0 +1,97 @@
+"""Table 4 / Appendix F: costs *incurred* by Spire's optimizations.
+
+Two measurements per benchmark, at a small and a large depth:
+
+* the share of T gates attributable to the uncomputation that conditional
+  flattening introduces (the ``with { x' <- x && y } ... I[...]`` pairs) —
+  small, averaging well under 5% (paper: 0–4.81%, average 0.49%);
+* the qubit count with and without Spire — within a few qubits of each
+  other (paper: -19 .. +1).
+"""
+
+from __future__ import annotations
+
+from conftest import DEPTHS, print_table
+
+from repro.cost import ExactCostModel
+from repro.ir import Assign, BinOp, If, Seq, Stmt, With, seq
+
+PROGRAMS = ["length", "length-simplified", "sum", "find_pos", "is_prefix", "compare"]
+
+
+def flattening_uncompute_t(compiled) -> int:
+    """T gates of the ``I[x' <- x && y]`` halves that flattening introduced.
+
+    Flattening temporaries are named ``%cfN``; each lives in a With whose
+    reversal re-runs the setup once — the uncomputation share is the setup
+    cost counted once.
+    """
+    model = ExactCostModel(compiled.table, compiled.var_types, compiled.cell_bits)
+
+    def walk(stmt: Stmt, depth: int) -> int:
+        if isinstance(stmt, Seq):
+            return sum(walk(sub, depth) for sub in stmt.stmts)
+        if isinstance(stmt, If):
+            return walk(stmt.body, depth + 1)
+        if isinstance(stmt, With):
+            total = walk(stmt.body, depth)
+            setup_total = 0
+            for sub in stmt.setup.walk() if not isinstance(stmt.setup, Seq) else []:
+                pass
+            for sub in (stmt.setup.stmts if isinstance(stmt.setup, Seq) else (stmt.setup,)):
+                if isinstance(sub, Assign) and sub.name.startswith("%cf"):
+                    setup_total += model.profile(sub).shifted(depth).t_complexity()
+                else:
+                    total += walk(sub, depth) * 0  # non-flattening setup: not counted
+            # the reversal runs the flattening assignments once more
+            return total + setup_total
+        return 0
+
+    return walk(compiled.core, 0)
+
+
+def test_table4_uncomputation_share(runner):
+    rows = []
+    shares = []
+    for name in PROGRAMS:
+        for depth in (2, DEPTHS[-1]):
+            compiled = runner.compile(name, depth, "spire")
+            total = compiled.t_complexity()
+            uncompute = flattening_uncompute_t(compiled)
+            share = 100 * uncompute / total if total else 0.0
+            shares.append(share)
+            rows.append([name, depth, total, uncompute, f"{share:.2f}%"])
+    print_table(
+        "Table 4: T gates from conditional flattening's uncomputation",
+        ["program", "n", "total T", "uncompute T", "share"],
+        rows,
+    )
+    # length-simplified has a tiny base circuit, so its share is the
+    # largest (the paper's maximum, 4.81%, is also on this program); the
+    # substantial benchmarks stay in low single digits.
+    assert all(share < 15.0 for share in shares)
+    real = [s for s, row in zip(shares, rows) if row[0] != "length-simplified"]
+    assert sum(real) / len(real) < 3.0  # paper averages: 0.30% / 0.49%
+
+
+def test_table4_qubit_counts(runner):
+    rows = []
+    for name in PROGRAMS:
+        for depth in (2, DEPTHS[-1]):
+            plain = runner.compile(name, depth, "none").num_qubits()
+            spire = runner.compile(name, depth, "spire").num_qubits()
+            rows.append([name, depth, plain, spire, spire - plain])
+            # Appendix F: flattening introduces at most O(1) extra qubits
+            # per conditional level (our allocator parks flattening
+            # temporaries conservatively, so we see a few per level where
+            # the paper reports ±1 overall; see EXPERIMENTS.md)
+            assert spire - plain <= 3 * depth + 4, (name, depth)
+    print_table(
+        "Table 4: qubits with and without Spire",
+        ["program", "n", "without", "with", "difference"],
+        rows,
+    )
+
+
+def test_table4_benchmark(runner, benchmark):
+    benchmark(lambda: runner.compile("sum", 3, "spire").num_qubits())

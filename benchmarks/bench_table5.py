@@ -1,0 +1,72 @@
+"""Tables 5 and 6 / Appendix G: the search-based optimizer stand-in.
+
+Quartz/QUESO behaviour on ``length-simplified`` at depths 1..5: gate counts
+(T, H, CNOT) for the original circuit, after the preprocessing phase
+(rotation merging), and after preprocessing + budgeted search.  The paper's
+findings reproduced here:
+
+* preprocessing improves T counts by roughly a third;
+* the search phase adds little or nothing on top for these circuits
+  ("Quartz does not have any chance to optimize [the Toffoli decomposition]
+  further");
+* the output T-complexity remains quadratic, not linear.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, tail_fit
+
+from repro.circopt import get_optimizer
+from repro.circuit import GateKind, to_clifford_t
+
+DEPTHS_G = [1, 2, 3, 4, 5]
+
+
+def _counts(circuit):
+    return (
+        circuit.t_count(),
+        circuit.count_kind(GateKind.H),
+        circuit.count_kind(GateKind.MCX, 1),
+    )
+
+
+def test_table5(runner):
+    rows = []
+    original_t, preprocessed_t, searched_t = [], [], []
+    pre = get_optimizer("greedy-search", timeout=0.0, preprocess_only=True)
+    full = get_optimizer("greedy-search", timeout=2.0)
+    for depth in DEPTHS_G:
+        compiled = runner.compile("length-simplified", depth, "none")
+        base = to_clifford_t(compiled.circuit)
+        t0, h0, c0 = _counts(base)
+        p = pre.optimize(compiled.circuit)
+        t1, h1, c1 = _counts(p.circuit)
+        s = full.optimize(compiled.circuit)
+        t2, h2, c2 = _counts(s.circuit)
+        original_t.append(t0)
+        preprocessed_t.append(t1)
+        searched_t.append(t2)
+        rows.append([depth, t0, h0, c0, t1, h1, c1, f"{p.seconds:.2f}s",
+                     t2, h2, c2, f"{s.seconds:.2f}s"])
+    print_table(
+        "Table 5/6: search-based optimizer (Quartz/QUESO stand-in), length-simplified",
+        ["n", "T orig", "H orig", "CNOT orig",
+         "T pre", "H pre", "CNOT pre", "time pre",
+         "T search", "H search", "CNOT search", "time search"],
+        rows,
+    )
+    # preprocessing helps by a constant factor
+    assert preprocessed_t[-1] < original_t[-1]
+    # our stand-in's search phase is somewhat stronger than Quartz's (its
+    # wide cancellation windows catch Toffoli-pair residue), but the key
+    # finding holds: the output remains superlinear, not linear
+    assert searched_t[-1] <= preprocessed_t[-1]
+    assert tail_fit(DEPTHS_G, searched_t, 4).degree >= 2
+    diffs = [b - a for a, b in zip(searched_t, searched_t[1:])]
+    assert diffs[-1] > diffs[0]  # increments grow: not linear
+
+
+def test_table5_search_benchmark(runner, benchmark):
+    compiled = runner.compile("length-simplified", 3, "none")
+    optimizer = get_optimizer("greedy-search", timeout=0.5)
+    benchmark(lambda: optimizer.optimize(compiled.circuit))

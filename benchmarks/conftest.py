@@ -1,0 +1,66 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper's
+evaluation.  The recursion-depth ranges default to smaller values than the
+paper's 2..10 so the whole harness completes in minutes of pure Python;
+set ``REPRO_FULL=1`` in the environment for the full ranges.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchsuite import BenchmarkRunner
+from repro.config import CompilerConfig
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+#: benchmark config: small words keep pure-Python circuits tractable
+CONFIG = CompilerConfig(word_width=3, addr_width=3, heap_cells=6)
+
+#: depth range for list/string benchmarks (paper: 2..10)
+DEPTHS = list(range(2, 11)) if FULL else list(range(2, 7))
+
+#: depth range for the tree benchmarks (compile time grows as d^2)
+TREE_DEPTHS = list(range(2, 9)) if FULL else list(range(2, 6))
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchmarkRunner:
+    return BenchmarkRunner(CONFIG)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render an aligned table to stdout (shown with pytest -s or on report)."""
+    widths = [len(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    print()
+    print(f"== {title} ==")
+    print(fmt(headers))
+    print(fmt(["-" * w for w in widths]))
+    for row in text_rows:
+        print(fmt(row))
+
+
+def tail_fit(xs, ys, points: int = 4):
+    """Fit the last ``points`` samples: optimizer outputs often have small-n
+    boundary irregularities; the asymptotic claim concerns the tail."""
+    from repro.cost import fit_report
+
+    k = min(points, len(xs))
+    return fit_report(list(xs)[-k:], list(ys)[-k:])
+
+
+def has_linear_growth(ys) -> bool:
+    """True when per-step increments stop growing (linear trend, tolerant of
+    even/odd oscillation in optimizer outputs; quadratic series fail)."""
+    diffs = [b - a for a, b in zip(ys, ys[1:])]
+    half = max(1, len(diffs) // 2)
+    return max(diffs[half:]) <= max(diffs[:half]) * 1.3

@@ -1,0 +1,68 @@
+"""Data structures in superposition: the workloads behind Table 1.
+
+Builds a heap image holding a linked list and a string-keyed search tree,
+then runs the benchmark programs on them through the compiled circuits —
+the same abstract-data-structure operations that quantum algorithms for
+search, subset-sum and geometry rely on (Section 3.1).
+"""
+
+from repro import CompilerConfig
+from repro.benchsuite import BenchmarkRunner, HeapImage
+from repro.circuit import classical_sim
+
+CONFIG = CompilerConfig(word_width=4, addr_width=4, heap_cells=14)
+
+
+def run(runner, name, depth, inputs, heap):
+    compiled = runner.compile(name, depth, "spire")
+    circuit_inputs = dict(inputs)
+    circuit_inputs.update(heap.as_registers())
+    out = classical_sim.run_on_registers(compiled.circuit, circuit_inputs)
+    return out[compiled.return_var], out
+
+
+def main() -> None:
+    runner = BenchmarkRunner(CONFIG)
+
+    # ---- linked list ------------------------------------------------------
+    heap = HeapImage(CONFIG)
+    head = heap.add_list([7, 5, 3])
+    length, _ = run(runner, "length", 5, {"xs": head, "acc": 0}, heap)
+    total, _ = run(runner, "sum", 5, {"xs": head, "acc": 0}, heap)
+    pos, _ = run(runner, "find_pos", 5, {"xs": head, "v": 5, "idx": 1}, heap)
+    print(f"list [7, 5, 3]: length={length}, sum={total}, find_pos(5)={pos}")
+
+    # remove erases the first 5 and reports its position
+    removed_pos, out = run(runner, "remove", 5, {"xs": head, "v": 5, "idx": 1}, heap)
+    from repro.benchsuite import decode_list_from_memory
+
+    print(f"remove(5) -> position {removed_pos}; "
+          f"list is now {decode_list_from_memory(out, head, CONFIG)}")
+
+    # ---- string-keyed search tree (the set of Table 1) --------------------
+    heap = HeapImage(CONFIG)
+    root = heap.add_tree(([5], ([3], None, None), ([7], None, None)))
+    for key, note in (([3], "present"), ([4], "absent")):
+        key_ptr = heap.add_string(key)
+        found, _ = run(runner, "contains", 3, {"t": root, "key": key_ptr}, heap)
+        print(f"set.contains({key}) = {bool(found)} ({note})")
+
+    key_ptr = heap.add_string([4])
+    fresh = heap.alloc()
+    heap.write(fresh, heap.encode_tree_node(key_ptr, 0, 0))
+    ok, out = run(runner, "insert", 3,
+                  {"t": root, "key": key_ptr, "fresh": fresh}, heap)
+    print(f"set.insert([4]) linked a node: {bool(ok)}")
+
+    # the mutated heap now contains the key
+    heap2 = HeapImage(CONFIG)
+    heap2.cells = {a: out[f"mem[{a}]"] for a in range(1, CONFIG.heap_cells + 1)
+                   if out.get(f"mem[{a}]")}
+    heap2._next = heap._next
+    key2 = heap2.add_string([4])
+    found, _ = run(runner, "contains", 4, {"t": root, "key": key2}, heap2)
+    print(f"set.contains([4]) after insert = {bool(found)}")
+
+
+if __name__ == "__main__":
+    main()

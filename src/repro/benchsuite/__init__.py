@@ -1,0 +1,18 @@
+"""Benchmark programs (Table 1) and the experiment harness."""
+
+from .memory_images import HeapImage, decode_list_from_memory
+from .programs import ENTRIES, SOURCES, TREE_BENCHMARKS, UNSIZED
+from .runner import BenchmarkPoint, BenchmarkRunner, ScalingResult, default_depths
+
+__all__ = [
+    "HeapImage",
+    "decode_list_from_memory",
+    "ENTRIES",
+    "SOURCES",
+    "TREE_BENCHMARKS",
+    "UNSIZED",
+    "BenchmarkPoint",
+    "BenchmarkRunner",
+    "ScalingResult",
+    "default_depths",
+]

@@ -1,0 +1,127 @@
+"""Heap-image builders for the benchmark data structures.
+
+These helpers lay out linked lists, strings and BSTs in the bounded heap so
+tests and examples can run the compiled circuits (or the IR interpreter) on
+concrete machine states.
+
+Cell encodings follow the tuple layout convention (first component in the
+low bits):
+
+* ``list`` / ``str`` node ``(value, next)``: ``value | next << word_width``
+* ``node`` (BST) ``(key, (left, right))``:
+  ``key | left << addr_width | right << 2*addr_width``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import CompilerConfig
+from ..errors import SimulationError
+
+
+@dataclass
+class HeapImage:
+    """A heap under construction: address -> encoded cell value."""
+
+    config: CompilerConfig
+    cells: Dict[int, int] = field(default_factory=dict)
+    _next: int = 1
+
+    def alloc(self) -> int:
+        """Reserve the next free address (1-based)."""
+        addr = self._next
+        if addr > self.config.heap_cells:
+            raise SimulationError(
+                f"heap exhausted: {self.config.heap_cells} cells"
+            )
+        self._next += 1
+        return addr
+
+    def write(self, addr: int, value: int) -> None:
+        self.cells[addr] = value
+
+    def as_memory(self) -> List[int]:
+        """The interpreter's memory list (index 0 = null, unused)."""
+        memory = [0] * (self.config.heap_cells + 1)
+        for addr, value in self.cells.items():
+            memory[addr] = value
+        return memory
+
+    def as_registers(self) -> Dict[str, int]:
+        """Named-register values for the classical circuit simulator."""
+        return {f"mem[{addr}]": value for addr, value in self.cells.items()}
+
+    # ------------------------------------------------------------- builders
+    def encode_list_node(self, value: int, next_addr: int) -> int:
+        w = self.config.word_width
+        if value >= (1 << w):
+            raise SimulationError(f"value {value} too wide for {w}-bit words")
+        return value | (next_addr << w)
+
+    def add_list(self, values: Sequence[int]) -> int:
+        """Lay out a linked list; returns the head address (0 if empty)."""
+        addrs = [self.alloc() for _ in values]
+        for i, value in enumerate(values):
+            next_addr = addrs[i + 1] if i + 1 < len(addrs) else 0
+            self.write(addrs[i], self.encode_list_node(value, next_addr))
+        return addrs[0] if addrs else 0
+
+    # strings share the list layout (a str node is (char, next))
+    add_string = add_list
+
+    def encode_tree_node(self, key_addr: int, left: int, right: int) -> int:
+        a = self.config.addr_width
+        return key_addr | (left << a) | (right << (2 * a))
+
+    def add_tree(self, tree: Optional[tuple]) -> int:
+        """Lay out a BST given nested tuples ``(key_chars, left, right)``.
+
+        Returns the root address (0 for an empty tree).  Keys are laid out
+        as linked strings.
+        """
+        if tree is None:
+            return 0
+        key_chars, left, right = tree
+        key_addr = self.add_string(key_chars)
+        node_addr = self.alloc()
+        left_addr = self.add_tree(left)
+        right_addr = self.add_tree(right)
+        self.write(node_addr, self.encode_tree_node(key_addr, left_addr, right_addr))
+        return node_addr
+
+    def read_list(self, head: int, max_nodes: int = 64) -> List[Tuple[int, int]]:
+        """Decode a list into [(value, addr), ...] for assertions."""
+        result: List[Tuple[int, int]] = []
+        addr = head
+        w = self.config.word_width
+        mask = (1 << w) - 1
+        seen = set()
+        while addr and len(result) < max_nodes:
+            if addr in seen:
+                raise SimulationError("cyclic list")
+            seen.add(addr)
+            cell = self.cells.get(addr, 0)
+            result.append((cell & mask, addr))
+            addr = cell >> w
+        return result
+
+
+def decode_list_from_memory(
+    memory: Dict[str, int], head: int, config: CompilerConfig
+) -> List[int]:
+    """Decode list values from a simulated register map (``mem[a]`` keys)."""
+    values: List[int] = []
+    w = config.word_width
+    mask = (1 << w) - 1
+    addr = head
+    seen = set()
+    while addr:
+        if addr in seen:
+            raise SimulationError("cyclic list")
+        seen.add(addr)
+        cell = memory.get(f"mem[{addr}]", 0)
+        values.append(cell & mask)
+        addr = cell >> w
+    return values

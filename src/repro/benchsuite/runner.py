@@ -1,0 +1,148 @@
+"""Benchmark harness: compile Table 1 programs and collect the paper's metrics.
+
+:class:`BenchmarkRunner` memoizes parsed programs and compiled circuits, and
+exposes the measurements every table and figure of the evaluation needs:
+
+* empirical MCX- and T-complexity at a recursion depth (Figure 2, Table 1),
+* predicted complexities from the Section 5 cost model (Table 1 RQ1),
+* fitted complexity polynomials across a depth range (Table 1/Table 3),
+* T-counts after each circuit-optimizer baseline (Figures 12/15/24),
+* compile and optimizer timings (Table 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circopt.base import get_optimizer
+from ..compiler.pipeline import CompiledProgram, compile_program
+from ..config import DEFAULT, CompilerConfig
+from ..cost.asymptotics import FitReport, fit_report
+from ..cost.exact import exact_counts
+from ..cost.model import PaperCostModel
+from ..lang.parser import parse_program
+from .programs import ENTRIES, SOURCES, UNSIZED
+
+
+@dataclass
+class BenchmarkPoint:
+    """Measurements of one benchmark at one depth and optimization level."""
+
+    name: str
+    depth: Optional[int]
+    optimization: str
+    mcx: int
+    t: int
+    qubits: int
+    compile_seconds: float
+    predicted_mcx: int = 0
+    predicted_t: int = 0
+
+
+@dataclass
+class ScalingResult:
+    """A fitted complexity curve for one benchmark/metric."""
+
+    name: str
+    optimization: str
+    metric: str
+    fit: FitReport
+
+
+class BenchmarkRunner:
+    """Compiles and measures the benchmark programs."""
+
+    def __init__(self, config: CompilerConfig = DEFAULT) -> None:
+        self.config = config
+        self._programs = {}
+        self._compiled: Dict[Tuple[str, Optional[int], str], CompiledProgram] = {}
+
+    def program(self, name: str):
+        if name not in self._programs:
+            self._programs[name] = parse_program(SOURCES[name])
+        return self._programs[name]
+
+    def compile(
+        self, name: str, depth: Optional[int] = None, optimization: str = "none"
+    ) -> CompiledProgram:
+        """Compile a benchmark (cached)."""
+        if name in UNSIZED:
+            depth = None
+        key = (name, depth, optimization)
+        if key not in self._compiled:
+            self._compiled[key] = compile_program(
+                self.program(name),
+                ENTRIES[name],
+                size=depth,
+                config=self.config,
+                optimization=optimization,
+            )
+        return self._compiled[key]
+
+    # ----------------------------------------------------------- measurement
+    def measure(
+        self, name: str, depth: Optional[int] = None, optimization: str = "none"
+    ) -> BenchmarkPoint:
+        start = time.perf_counter()
+        compiled = self.compile(name, depth, optimization)
+        elapsed = time.perf_counter() - start
+        model = PaperCostModel(compiled.table, compiled.var_types, compiled.cell_bits)
+        report = model.report(compiled.core)
+        return BenchmarkPoint(
+            name=name,
+            depth=depth,
+            optimization=optimization,
+            mcx=compiled.mcx_complexity(),
+            t=compiled.t_complexity(),
+            qubits=compiled.num_qubits(),
+            compile_seconds=sum(compiled.timings.values()),
+            predicted_mcx=report.mcx,
+            predicted_t=report.t,
+        )
+
+    def scaling(
+        self,
+        name: str,
+        depths: Sequence[int],
+        optimization: str = "none",
+        metric: str = "t",
+    ) -> ScalingResult:
+        """Fit the metric across a depth range (the Section 8.1 method)."""
+        ys: List[int] = []
+        for depth in depths:
+            point = self.measure(name, depth, optimization)
+            ys.append(getattr(point, metric))
+        return ScalingResult(
+            name=name,
+            optimization=optimization,
+            metric=metric,
+            fit=fit_report(list(depths), ys),
+        )
+
+    def exact_model_counts(
+        self, name: str, depth: Optional[int], optimization: str = "none"
+    ) -> Tuple[int, int]:
+        """(MCX, T) by the exact cost model — equal to the circuit's counts."""
+        compiled = self.compile(name, depth, optimization)
+        return exact_counts(
+            compiled.core, compiled.table, compiled.var_types, compiled.cell_bits
+        )
+
+    def optimize_circuit(
+        self,
+        name: str,
+        depth: Optional[int],
+        optimizer: str,
+        optimization: str = "none",
+        **kwargs,
+    ):
+        """Run a circuit-optimizer baseline on a compiled benchmark."""
+        compiled = self.compile(name, depth, optimization)
+        return get_optimizer(optimizer, **kwargs).optimize(compiled.circuit)
+
+
+def default_depths() -> List[int]:
+    """The paper's depth range (2..10); trimmed by callers when slow."""
+    return list(range(2, 11))

@@ -1,0 +1,31 @@
+"""Baseline quantum circuit optimizers (the comparisons of Section 8.3)."""
+
+from .base import (
+    CircuitOptimizer,
+    OptimizerResult,
+    gates_commute,
+    get_optimizer,
+    optimizer_names,
+)
+from .cancel import CliffordTPeephole, cancel_pass, cancel_to_fixpoint
+from .phase_poly import PhaseFolder, RotationMerging, fold_phases
+from .search import GreedySearch
+from .toffoli_cancel import ToffoliCancel
+from .zxlike import ZXLike
+
+__all__ = [
+    "CircuitOptimizer",
+    "OptimizerResult",
+    "gates_commute",
+    "get_optimizer",
+    "optimizer_names",
+    "CliffordTPeephole",
+    "cancel_pass",
+    "cancel_to_fixpoint",
+    "PhaseFolder",
+    "RotationMerging",
+    "fold_phases",
+    "GreedySearch",
+    "ToffoliCancel",
+    "ZXLike",
+]

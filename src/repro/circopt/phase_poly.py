@@ -1,0 +1,157 @@
+"""Rotation merging via phase-polynomial tracking (phase folding).
+
+This is the strategy of Nam et al. [2018] that Section 8.5 credits to
+Feynman ``-toCliffordT``, VOQC and Pytket ZX: phase rotations applied to the
+same *parity* of wire values are merged into one rotation, across an
+arbitrary number of gates.
+
+The algorithm sweeps the Clifford+T circuit once, tracking for every wire an
+affine function (a parity of symbolic *variables* plus a constant) of the
+circuit's history:
+
+* a fresh variable is introduced per wire at the start and whenever a
+  Hadamard (or any unhandled gate) rewrites the wire;
+* ``CNOT(c, t)`` XORs the labels; ``X(t)`` flips the constant;
+* an uncontrolled phase gate contributes ``±k`` eighth-turns to the table
+  entry for its wire's parity (negated when the constant is 1, the constant
+  offset being a global phase);
+* the first occurrence of a parity becomes a *placeholder* in the output;
+  later occurrences fold into it and disappear.  A parity over an empty
+  variable set is itself a global phase and is dropped.
+
+Soundness: per computational-basis "branch" the phase contributed depends
+only on the parity's value, which is fixed along each branch; folding moves
+the phase to a position where the same parity provably resided on a wire.
+The test suite checks equivalence (up to global phase) by statevector
+simulation on random circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..circuit.circuit import Circuit
+from ..circuit.decompose import to_clifford_t
+from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, PHASE_KINDS, Gate, GateKind
+from .base import CircuitOptimizer, register
+from .cancel import cancel_to_fixpoint
+
+
+@dataclass
+class _Placeholder:
+    """A merged rotation to be materialized at finalization.
+
+    ``eighths`` accumulates relative to the *parity* (mask); ``const`` is
+    the wire's affine constant at the emission position — when it is 1 the
+    wire shows the negated parity, so materialization negates the count.
+    """
+
+    qubit: int
+    eighths: int
+    const: int
+
+
+class PhaseFolder:
+    """Single-sweep phase folding over a Clifford+T gate list."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = num_qubits
+        self._next_var = 0
+        self.masks: List[int] = []
+        self.consts: List[int] = []
+        for _ in range(num_qubits):
+            self.masks.append(self._fresh())
+            self.consts.append(0)
+        self.table: Dict[int, _Placeholder] = {}
+        self.out: List[Union[Gate, _Placeholder]] = []
+
+    def _fresh(self) -> int:
+        bit = 1 << self._next_var
+        self._next_var += 1
+        return bit
+
+    def _cut(self, qubit: int) -> None:
+        self.masks[qubit] = self._fresh()
+        self.consts[qubit] = 0
+
+    # ----------------------------------------------------------------- sweep
+    def feed(self, gate: Gate) -> None:
+        kind = gate.kind
+        if kind in PHASE_KINDS and not gate.controls:
+            qubit = gate.target
+            mask = self.masks[qubit]
+            eighths = PHASE_EIGHTHS[kind]
+            if self.consts[qubit]:
+                eighths = (-eighths) % 8  # the offset is a global phase
+            if mask == 0:
+                return  # constant parity: pure global phase, dropped
+            entry = self.table.get(mask)
+            if entry is None:
+                entry = _Placeholder(qubit, 0, self.consts[qubit])
+                self.table[mask] = entry
+                self.out.append(entry)
+            entry.eighths = (entry.eighths + eighths) % 8
+            return
+        if kind is GateKind.MCX and len(gate.controls) == 1:
+            control, target = gate.controls[0], gate.target
+            self.masks[target] ^= self.masks[control]
+            self.consts[target] ^= self.consts[control]
+            self.out.append(gate)
+            return
+        if kind is GateKind.MCX and len(gate.controls) == 0:
+            self.consts[gate.target] ^= 1
+            self.out.append(gate)
+            return
+        if kind is GateKind.SWAP and not gate.controls:
+            a, b = gate.targets
+            self.masks[a], self.masks[b] = self.masks[b], self.masks[a]
+            self.consts[a], self.consts[b] = self.consts[b], self.consts[a]
+            self.out.append(gate)
+            return
+        # H, multiply-controlled gates, controlled phases: barrier on the
+        # gate's qubits (conservative for anything beyond Clifford+T).
+        for qubit in gate.qubits:
+            self._cut(qubit)
+        self.out.append(gate)
+
+    def finalize(self) -> List[Gate]:
+        gates: List[Gate] = []
+        for item in self.out:
+            if isinstance(item, _Placeholder):
+                eighths = item.eighths if item.const == 0 else (-item.eighths) % 8
+                for kind in EIGHTHS_TO_KINDS[eighths % 8]:
+                    gates.append(Gate(kind, (), (item.qubit,)))
+            else:
+                gates.append(item)
+        return gates
+
+
+def fold_phases(circuit: Circuit) -> Circuit:
+    """Apply one phase-folding sweep to a Clifford+T circuit."""
+    folder = PhaseFolder(circuit.num_qubits)
+    for gate in circuit.gates:
+        folder.feed(gate)
+    return Circuit(circuit.num_qubits, folder.finalize(), dict(circuit.registers))
+
+
+@register
+class RotationMerging(CircuitOptimizer):
+    """Decompose to Clifford+T, fold phases, then peephole.
+
+    Models Feynman ``-toCliffordT``, VOQC ``optimize_nam`` and Pytket
+    ``ZXGraphlikeOptimisation`` in the evaluation.
+    """
+
+    name = "rotation-merge"
+    models = "Feynman -toCliffordT, VOQC, Pytket ZX"
+
+    def __init__(self, window: int = 64) -> None:
+        self.window = window
+
+    def run(self, circuit: Circuit) -> Circuit:
+        clifford_t = to_clifford_t(circuit)
+        folded = fold_phases(clifford_t)
+        gates = cancel_to_fixpoint(folded.gates, self.window)
+        folded2 = fold_phases(Circuit(folded.num_qubits, gates, dict(folded.registers)))
+        return folded2

@@ -1,0 +1,187 @@
+"""Gate decompositions (Figures 5 and 6 of the paper).
+
+* :func:`decompose_mcx_to_toffoli` — the Barenco et al. ladder of Figure 5:
+  an MCX with ``c >= 3`` controls becomes ``2*(c-2) + 1`` Toffoli gates using
+  ``c - 2`` clean ancilla qubits, which are returned to |0⟩.
+* :func:`decompose_toffoli_to_clifford_t` — the standard 7-T-gate Clifford+T
+  realization of the Toffoli gate (Figure 6).
+* :func:`decompose_controlled_h` — a controlled Hadamard as
+  ``A · C^mX · A†`` with ``A = S·H·T`` acting on the target (the Qiskit CH
+  construction, 2 T gates of its own).
+
+:func:`to_toffoli` and :func:`to_clifford_t` apply these over whole circuits,
+appending ancilla qubits at the top of the wire range.  The number of T gates
+produced by the full pipeline equals :meth:`Circuit.t_complexity` of the
+original MCX-level circuit, which the test suite verifies gate-for-gate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import LoweringError
+from .circuit import Circuit, Register
+from .gates import Gate, GateKind, cnot, h, s, sdg, t, tdg, toffoli, x
+
+
+class _AncillaPool:
+    """Allocates clean ancilla qubits above a circuit's wires and reuses them."""
+
+    def __init__(self, first_free: int) -> None:
+        self._next = first_free
+        self._free: List[int] = []
+        self.high_water = first_free
+
+    def acquire(self) -> int:
+        if self._free:
+            return self._free.pop()
+        qubit = self._next
+        self._next += 1
+        self.high_water = max(self.high_water, self._next)
+        return qubit
+
+    def release(self, qubit: int) -> None:
+        self._free.append(qubit)
+
+    @property
+    def used(self) -> int:
+        return self.high_water
+
+
+def decompose_mcx_to_toffoli(
+    gate: Gate, pool: _AncillaPool, out: List[Gate]
+) -> None:
+    """Expand one MCX gate into Toffoli/CNOT/X gates, appending to ``out``.
+
+    Follows Figure 5: ``MCX(c1..ck -> t)`` becomes ``Toffoli(c1,c2 -> a)``,
+    ``MCX(a,c3..ck -> t)`` recursively, ``Toffoli(c1,c2 -> a)``.  Each level
+    borrows one clean ancilla and restores it.
+    """
+    if gate.kind is not GateKind.MCX:
+        raise LoweringError(f"not an MCX gate: {gate}")
+    controls = list(gate.controls)
+    if len(controls) <= 2:
+        out.append(gate)
+        return
+    ancilla = pool.acquire()
+    compute = toffoli(controls[0], controls[1], ancilla)
+    out.append(compute)
+    inner = Gate(GateKind.MCX, tuple([ancilla] + controls[2:]), gate.targets)
+    decompose_mcx_to_toffoli(inner, pool, out)
+    out.append(compute)
+    pool.release(ancilla)
+
+
+def decompose_controlled_h(gate: Gate, pool: _AncillaPool, out: List[Gate]) -> None:
+    """Expand a controlled Hadamard into {Clifford, MCX} gates.
+
+    ``C^m H = A · C^m X · A†`` with ``A = S · H · T`` on the target.  The MCX
+    part is decomposed further by :func:`decompose_mcx_to_toffoli`.
+    """
+    if gate.kind is not GateKind.H:
+        raise LoweringError(f"not an H gate: {gate}")
+    target = gate.target
+    if not gate.controls:
+        out.append(gate)
+        return
+    out.append(s(target))
+    out.append(h(target))
+    out.append(t(target))
+    decompose_mcx_to_toffoli(
+        Gate(GateKind.MCX, gate.controls, gate.targets), pool, out
+    )
+    out.append(tdg(target))
+    out.append(h(target))
+    out.append(sdg(target))
+
+
+def decompose_toffoli_to_clifford_t(gate: Gate) -> List[Gate]:
+    """The standard 7-T realization of the Toffoli gate (Figure 6)."""
+    if gate.kind is not GateKind.MCX or len(gate.controls) != 2:
+        raise LoweringError(f"not a Toffoli gate: {gate}")
+    a, b = gate.controls
+    c = gate.target
+    return [
+        h(c),
+        cnot(b, c),
+        tdg(c),
+        cnot(a, c),
+        t(c),
+        cnot(b, c),
+        tdg(c),
+        cnot(a, c),
+        t(b),
+        t(c),
+        h(c),
+        cnot(a, b),
+        t(a),
+        tdg(b),
+        cnot(a, b),
+    ]
+
+
+def decompose_swap(gate: Gate) -> List[Gate]:
+    """A SWAP as three CNOTs (controls, if any, go on every CNOT)."""
+    if gate.kind is not GateKind.SWAP:
+        raise LoweringError(f"not a SWAP gate: {gate}")
+    a, b = gate.targets
+    seq = [cnot(a, b), cnot(b, a), cnot(a, b)]
+    return [g.with_extra_controls(gate.controls) for g in seq]
+
+
+def to_toffoli(circuit: Circuit) -> Circuit:
+    """Rewrite an MCX-level circuit so no gate has more than two controls.
+
+    MCX gates with three or more controls are expanded via Figure 5;
+    controlled Hadamards are expanded via the ``A · C^mX · A†`` construction.
+    Ancilla wires are appended above ``circuit.num_qubits`` and shared.
+    """
+    pool = _AncillaPool(circuit.num_qubits)
+    out: List[Gate] = []
+    for gate in circuit.gates:
+        if gate.kind is GateKind.MCX:
+            decompose_mcx_to_toffoli(gate, pool, out)
+        elif gate.kind is GateKind.H:
+            if len(gate.controls) <= 0:
+                out.append(gate)
+            else:
+                decompose_controlled_h(gate, pool, out)
+        elif gate.kind is GateKind.SWAP:
+            for g in decompose_swap(gate):
+                decompose_mcx_to_toffoli(g, pool, out)
+        elif gate.kind in (GateKind.T, GateKind.TDG, GateKind.S, GateKind.SDG, GateKind.Z):
+            if gate.controls:
+                raise LoweringError(f"controlled phase gate in MCX-level circuit: {gate}")
+            out.append(gate)
+        else:  # pragma: no cover - enum is closed
+            raise LoweringError(f"cannot decompose {gate}")
+    result = Circuit(max(circuit.num_qubits, pool.used), out, dict(circuit.registers))
+    if pool.used > circuit.num_qubits:
+        result.add_register(
+            Register("%mcx_ancilla", circuit.num_qubits, pool.used - circuit.num_qubits)
+        )
+    return result
+
+
+def to_clifford_t(circuit: Circuit) -> Circuit:
+    """Fully decompose a circuit to the Clifford+T gate set.
+
+    First reduces to the Toffoli level (:func:`to_toffoli`), then applies the
+    Figure 6 rule to every Toffoli.
+    """
+    toffoli_level = to_toffoli(circuit)
+    out: List[Gate] = []
+    for gate in toffoli_level.gates:
+        if gate.kind is GateKind.MCX and len(gate.controls) == 2:
+            out.extend(decompose_toffoli_to_clifford_t(gate))
+        else:
+            out.append(gate)
+    return Circuit(toffoli_level.num_qubits, out, dict(toffoli_level.registers))
+
+
+def expanded_t_count(circuit: Circuit) -> int:
+    """T/T† gates in the fully decomposed form of ``circuit``.
+
+    Equal to ``circuit.t_complexity()``; provided for cross-checking.
+    """
+    return to_clifford_t(circuit).t_count()

@@ -1,0 +1,203 @@
+"""Dense statevector simulation of small circuits.
+
+Used by the test suite to verify, up to global phase, that gate
+decompositions and circuit optimizers preserve semantics.  Practical up to
+roughly 16 qubits; the benchmark programs are validated by the classical
+simulator instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import SimulationError
+from .circuit import Circuit
+from .gates import Gate, GateKind, PHASE_EIGHTHS
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state."""
+    state = np.zeros(1 << num_qubits, dtype=np.complex128)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, bits: int) -> np.ndarray:
+    """The computational basis state |bits⟩ (bit i of ``bits`` = qubit i)."""
+    state = np.zeros(1 << num_qubits, dtype=np.complex128)
+    state[bits] = 1.0
+    return state
+
+
+def _control_mask(gate: Gate) -> int:
+    mask = 0
+    for c in gate.controls:
+        mask |= 1 << c
+    return mask
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a statevector (returns a new array for H, in-place
+    phase/permutation updates otherwise)."""
+    dim = state.shape[0]
+    indices = np.arange(dim)
+    cmask = _control_mask(gate)
+    active = (indices & cmask) == cmask
+
+    if gate.kind is GateKind.MCX:
+        tbit = 1 << gate.target
+        flipped = np.where(active, indices ^ tbit, indices)
+        out = np.empty_like(state)
+        out[flipped] = state[indices]
+        return out
+
+    if gate.kind is GateKind.SWAP:
+        a, b = gate.targets
+        bit_a = (indices >> a) & 1
+        bit_b = (indices >> b) & 1
+        differ = active & (bit_a != bit_b)
+        swapped = np.where(differ, indices ^ ((1 << a) | (1 << b)), indices)
+        out = np.empty_like(state)
+        out[swapped] = state[indices]
+        return out
+
+    if gate.kind in PHASE_EIGHTHS:
+        eighths = PHASE_EIGHTHS[gate.kind]
+        tbit = 1 << gate.target
+        phase = np.exp(1j * math.pi * eighths / 4.0)
+        sel = active & ((indices & tbit) != 0)
+        out = state.copy()
+        out[sel] *= phase
+        return out
+
+    if gate.kind is GateKind.H:
+        tbit = 1 << gate.target
+        out = state.copy()
+        low = indices[active & ((indices & tbit) == 0)]
+        high = low | tbit
+        a = state[low]
+        b = state[high]
+        out[low] = _SQRT1_2 * (a + b)
+        out[high] = _SQRT1_2 * (a - b)
+        return out
+
+    raise SimulationError(f"unsupported gate {gate}")  # pragma: no cover
+
+
+def run(circuit: Circuit, state: np.ndarray | None = None) -> np.ndarray:
+    """Run a circuit on a statevector (default |0...0⟩)."""
+    if state is None:
+        state = zero_state(circuit.num_qubits)
+    if state.shape[0] != (1 << circuit.num_qubits):
+        raise SimulationError(
+            f"state has {state.shape[0]} amplitudes, circuit needs "
+            f"{1 << circuit.num_qubits}"
+        )
+    for gate in circuit.gates:
+        state = apply_gate(state, gate, circuit.num_qubits)
+    return state
+
+
+def unitary(circuit: Circuit, num_qubits: int | None = None) -> np.ndarray:
+    """The full unitary matrix of a circuit (exponential; small circuits only)."""
+    n = max(circuit.num_qubits, num_qubits or 0)
+    if n > 14:
+        raise SimulationError(f"{n} qubits is too large for a dense unitary")
+    if n != circuit.num_qubits:
+        circuit = Circuit(n, circuit.gates)
+    dim = 1 << n
+    mat = np.zeros((dim, dim), dtype=np.complex128)
+    for col in range(dim):
+        mat[:, col] = run(circuit, basis_state(n, col))
+    return mat
+
+
+def states_equal(a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> bool:
+    """Equality of statevectors up to global phase."""
+    if a.shape != b.shape:
+        return False
+    idx = int(np.argmax(np.abs(a)))
+    if abs(a[idx]) < tol and abs(b[idx]) < tol:
+        return bool(np.allclose(a, b, atol=tol))
+    if abs(b[idx]) < tol:
+        return False
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=tol))
+
+
+def unitaries_equal(a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> bool:
+    """Equality of unitaries up to global phase."""
+    if a.shape != b.shape:
+        return False
+    flat_a = a.ravel()
+    flat_b = b.ravel()
+    idx = int(np.argmax(np.abs(flat_a)))
+    if abs(flat_b[idx]) < tol:
+        return False
+    phase = flat_a[idx] / flat_b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=tol))
+
+
+def circuits_equivalent(
+    a: Circuit, b: Circuit, num_qubits: int | None = None, tol: float = 1e-9
+) -> bool:
+    """Whether two circuits implement the same unitary up to global phase.
+
+    The circuits are padded to a common qubit count (extra wires on either
+    side must act as identity, which the comparison then checks for free).
+    """
+    n = max(a.num_qubits, b.num_qubits)
+    if num_qubits is not None:
+        n = max(n, num_qubits)
+    return unitaries_equal(unitary(a, n), unitary(b, n), tol)
+
+
+def probe_basis_states(
+    circuit: Circuit, inputs: Iterable[int]
+) -> list[np.ndarray]:
+    """Run a circuit on several basis states (helper for equivalence spot checks)."""
+    return [run(circuit, basis_state(circuit.num_qubits, i)) for i in inputs]
+
+
+def equivalent_on_clean_ancillas(
+    reference: Circuit,
+    expanded: Circuit,
+    shared_qubits: int | None = None,
+    tol: float = 1e-9,
+) -> bool:
+    """Equivalence when wires above ``shared_qubits`` start (and must end) at |0⟩.
+
+    Decompositions such as the Figure 5 MCX ladder borrow clean ancillas and
+    return them; they equal the original only on that subspace.  Every basis
+    state of the shared wires (ancillas zero) is pushed through both
+    circuits; the expanded result must equal the reference result tensored
+    with zero ancillas, up to one common global phase.
+    """
+    n_shared = reference.num_qubits if shared_qubits is None else shared_qubits
+    n_big = max(expanded.num_qubits, n_shared)
+    phase: complex | None = None
+    for bits in range(1 << n_shared):
+        out_ref = run(reference, basis_state(reference.num_qubits, bits))
+        out_big = run(expanded, basis_state(n_big, bits))
+        # the expanded output must live entirely in the ancilla-zero block
+        block = out_big[: 1 << reference.num_qubits]
+        if not np.isclose(np.linalg.norm(block), 1.0, atol=1e-7):
+            return False
+        idx = int(np.argmax(np.abs(out_ref)))
+        if abs(block[idx]) < tol:
+            return False
+        this_phase = block[idx] / out_ref[idx]
+        if phase is None:
+            phase = this_phase
+        if not np.allclose(block, phase * out_ref, atol=tol):
+            return False
+    return True

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command> file.twr``.
+
+Commands:
+
+* ``compile`` — compile a Tower program and print complexity counts
+  (optionally emitting the circuit in .qc format);
+* ``analyze`` — run the Section 5 cost model without building the circuit;
+* ``optimizers`` — run the circuit-optimizer baselines on the compiled
+  circuit and compare T-counts;
+* ``resources`` — full resource report (T-count, T-depth, qubits).
+
+Example::
+
+    python -m repro compile examples/length.twr --entry length --size 5 \\
+        --optimize spire --emit out.qc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .circopt import get_optimizer, optimizer_names
+from .circuit import qc_format
+from .compiler import compile_source
+from .config import CompilerConfig
+from .cost import PaperCostModel
+from .cost.resources import estimate_resources
+from .errors import ReproError
+from .lang import lower_source
+from .opt import OPTIMIZATIONS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="Tower source file")
+    parser.add_argument("--entry", required=True, help="entry function name")
+    parser.add_argument("--size", type=int, default=None,
+                        help="recursion bound for the entry function")
+    parser.add_argument("--word-width", type=int, default=4)
+    parser.add_argument("--addr-width", type=int, default=4)
+    parser.add_argument("--heap-cells", type=int, default=8)
+
+
+def _config(args) -> CompilerConfig:
+    return CompilerConfig(
+        word_width=args.word_width,
+        addr_width=args.addr_width,
+        heap_cells=args.heap_cells,
+    )
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_compile(args) -> int:
+    source = _read(args.file)
+    compiled = compile_source(source, args.entry, args.size, _config(args), args.optimize)
+    print(f"entry         : {args.entry}"
+          + (f"[{args.size}]" if args.size is not None else ""))
+    print(f"optimization  : {args.optimize}")
+    print(f"qubits        : {compiled.num_qubits()}")
+    print(f"MCX-complexity: {compiled.mcx_complexity()}")
+    print(f"T-complexity  : {compiled.t_complexity()}")
+    if args.emit:
+        qc_format.dump(compiled.circuit, args.emit)
+        print(f"wrote {args.emit}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    source = _read(args.file)
+    lowered = lower_source(source, args.entry, args.size, _config(args))
+    from .compiler.pipeline import infer_cell_bits
+    from .ir import check_program, infer_types
+    from .opt import OPTIMIZATIONS as OPTS
+
+    stmt = OPTS[args.optimize](lowered.stmt)
+    check_program(stmt, lowered.table, lowered.param_types,
+                  relaxed=args.optimize != "none")
+    var_types = infer_types(stmt, lowered.table, lowered.param_types)
+    cell_bits = infer_cell_bits(stmt, lowered.table, var_types)
+    model = PaperCostModel(lowered.table, var_types, cell_bits)
+    report = model.report(stmt)
+    print(f"cost model (Section 5), optimization={args.optimize}:")
+    print(f"  C_MCX = {report.mcx}")
+    print(f"  C_T   = {report.t}")
+    return 0
+
+
+def cmd_optimizers(args) -> int:
+    source = _read(args.file)
+    compiled = compile_source(source, args.entry, args.size, _config(args), args.optimize)
+    baseline = compiled.t_complexity()
+    print(f"unoptimized T-complexity: {baseline}")
+    for name in optimizer_names():
+        optimizer = (
+            get_optimizer(name, timeout=args.timeout)
+            if name == "greedy-search"
+            else get_optimizer(name)
+        )
+        result = optimizer.optimize(compiled.circuit)
+        reduction = 100 * (1 - result.t_count / baseline) if baseline else 0.0
+        print(f"  {name:<16} T={result.t_count:<8} ({reduction:5.1f}% less) "
+              f"in {result.seconds:.3f}s   [{optimizer.models}]")
+    return 0
+
+
+def cmd_resources(args) -> int:
+    source = _read(args.file)
+    compiled = compile_source(source, args.entry, args.size, _config(args), args.optimize)
+    print(estimate_resources(compiled))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tower/Spire quantum compiler (PLDI 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile to an MCX circuit")
+    _add_common(p_compile)
+    p_compile.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
+    p_compile.add_argument("--emit", help="write the circuit in .qc format")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_analyze = sub.add_parser("analyze", help="cost model only (no circuit)")
+    _add_common(p_analyze)
+    p_analyze.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_opt = sub.add_parser("optimizers", help="compare circuit optimizers")
+    _add_common(p_opt)
+    p_opt.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
+    p_opt.add_argument("--timeout", type=float, default=2.0)
+    p_opt.set_defaults(func=cmd_optimizers)
+
+    p_res = sub.add_parser("resources", help="T-count/T-depth/qubit report")
+    _add_common(p_res)
+    p_res.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
+    p_res.set_defaults(func=cmd_resources)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""Lowering of core IR to the abstract circuit (Section 7, stage 3).
+
+Walks the statement tree, allocating registers (:mod:`.registers`) and
+emitting abstract instructions (:mod:`.abstract`).  The control context —
+the qubits of all enclosing quantum-``if`` conditions — is threaded through
+and attached to every instruction: this is the compilation strategy of
+Figure 21 whose cost the paper analyzes.
+
+``with { s1 } do { s2 }`` lowers as ``s1; s2; I[s1]`` on the fly.
+Un-assignment emits the *same* instruction as assignment (every instruction
+is an XOR-style involution at the gate level), then releases the register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LoweringError
+from ..ir.core import (
+    Assign,
+    Atom,
+    AtomE,
+    BinOp,
+    Expr,
+    Hadamard,
+    If,
+    Lit,
+    MemSwap,
+    Pair,
+    Proj,
+    Seq,
+    Skip,
+    Stmt,
+    Swap,
+    UnAssign,
+    UnOp,
+    Var,
+    With,
+    encode_value,
+)
+from ..ir.reverse import reverse
+from ..types import BoolT, PtrT, TupleT, Type, TypeTable, UIntT, UnitT
+from .abstract import (
+    AddInto,
+    AndBit,
+    EqConst,
+    EqReg,
+    HadamardInstr,
+    Instr,
+    LtInto,
+    MemSwapInstr,
+    MulInto,
+    NotBit,
+    Operand,
+    OrBit,
+    SubInto,
+    SwapReg,
+    XorConst,
+    XorReg,
+    subregister,
+)
+from .registers import RegisterAllocator
+
+
+@dataclass
+class AbstractProgram:
+    """Phase-A output: instructions plus the allocator that placed them."""
+
+    instrs: List[Instr]
+    allocator: RegisterAllocator
+    table: TypeTable
+    var_types: Dict[str, Type]
+
+
+def fold_binop(op: str, left: int, right: int, word_mask: int) -> int:
+    """Constant-fold a binary operator over encoded operands."""
+    if op == "&&":
+        return left & right & 1
+    if op == "||":
+        return (left | right) & 1
+    if op == "+":
+        return (left + right) & word_mask
+    if op == "-":
+        return (left - right) & word_mask
+    if op == "*":
+        return (left * right) & word_mask
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    raise LoweringError(f"unknown binary operator {op!r}")  # pragma: no cover
+
+
+class IRLowering:
+    """Single-use lowering engine for one statement tree."""
+
+    def __init__(
+        self,
+        table: TypeTable,
+        var_types: Dict[str, Type],
+        base_offset: int = 0,
+    ) -> None:
+        self.table = table
+        self.var_types = var_types
+        self.alloc = RegisterAllocator(base_offset)
+        self.instrs: List[Instr] = []
+
+    # --------------------------------------------------------------- helpers
+    def width_of(self, name: str) -> int:
+        if name not in self.var_types:
+            raise LoweringError(f"no type known for variable {name!r}")
+        return self.table.width(self.var_types[name])
+
+    def type_of_atom(self, atom: Atom) -> Type:
+        if isinstance(atom, Var):
+            if atom.name not in self.var_types:
+                raise LoweringError(f"no type known for variable {atom.name!r}")
+            return self.var_types[atom.name]
+        return atom.value.type_of()
+
+    def operand(self, atom: Atom) -> Operand:
+        """An atom as an instruction operand (register or constant)."""
+        if isinstance(atom, Var):
+            return self.alloc.lookup(atom.name)
+        return encode_value(atom.value, self.table)
+
+    def emit(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    # ------------------------------------------------------------ statements
+    def lower(self, stmt: Stmt, ctrl: Tuple[int, ...] = ()) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Seq):
+            for sub in stmt.stmts:
+                self.lower(sub, ctrl)
+            return
+        if isinstance(stmt, Assign):
+            reg = self.alloc.declare(stmt.name, self.width_of(stmt.name))
+            self.emit_expr(reg, stmt.expr, ctrl)
+            return
+        if isinstance(stmt, UnAssign):
+            reg = self.alloc.lookup(stmt.name)
+            self.emit_expr(reg, stmt.expr, ctrl)
+            self.alloc.unassign(stmt.name)
+            return
+        if isinstance(stmt, If):
+            cond = self.alloc.lookup(stmt.cond)
+            if cond.width != 1:
+                raise LoweringError(f"if condition {stmt.cond!r} is not one bit")
+            self.alloc.enter_scope()
+            self.lower(stmt.body, ctrl + (cond.bit(0),))
+            self.alloc.exit_scope()
+            return
+        if isinstance(stmt, With):
+            self.lower(stmt.setup, ctrl)
+            self.lower(stmt.body, ctrl)
+            self.lower(reverse(stmt.setup), ctrl)
+            return
+        if isinstance(stmt, Hadamard):
+            reg = self.alloc.lookup(stmt.name)
+            self.emit(HadamardInstr(ctrl, reg))
+            return
+        if isinstance(stmt, Swap):
+            left = self.alloc.lookup(stmt.left)
+            right = self.alloc.lookup(stmt.right)
+            if left.width != right.width:
+                raise LoweringError("swap of registers with different widths")
+            self.emit(SwapReg(ctrl, left, right))
+            return
+        if isinstance(stmt, MemSwap):
+            addr = self.alloc.lookup(stmt.pointer)
+            data = self.alloc.lookup(stmt.value)
+            self.emit(MemSwapInstr(ctrl, addr, data))
+            return
+        raise LoweringError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+    # ----------------------------------------------------------- expressions
+    def emit_expr(self, dst, expr: Expr, ctrl: Tuple[int, ...]) -> None:
+        """Emit instructions for ``dst ^= expr``."""
+        if isinstance(expr, AtomE):
+            self._emit_atom(dst, expr.atom, ctrl)
+            return
+        if isinstance(expr, Pair):
+            first_ty = self.type_of_atom(expr.first)
+            w1 = self.table.width(first_ty)
+            w2 = dst.width - w1
+            self._emit_atom(subregister(dst, 0, w1), expr.first, ctrl)
+            self._emit_atom(subregister(dst, w1, w2), expr.second, ctrl)
+            return
+        if isinstance(expr, Proj):
+            ty = self.table.resolve(self.type_of_atom(expr.atom))
+            if not isinstance(ty, TupleT):
+                raise LoweringError(f"projection from non-tuple {ty}")
+            w1 = self.table.width(ty.first)
+            offset = 0 if expr.index == 1 else w1
+            width = w1 if expr.index == 1 else self.table.width(ty.second)
+            if isinstance(expr.atom, Var):
+                src = self.alloc.lookup(expr.atom.name)
+                if width:
+                    self.emit(XorReg(ctrl, dst, subregister(src, offset, width)))
+            else:
+                bits = encode_value(expr.atom.value, self.table)
+                component = (bits >> offset) & ((1 << width) - 1)
+                if component:
+                    self.emit(XorConst(ctrl, dst, component))
+            return
+        if isinstance(expr, UnOp):
+            if expr.op == "not":
+                if isinstance(expr.atom, Var):
+                    src = self.alloc.lookup(expr.atom.name)
+                    self.emit(NotBit(ctrl, dst, src))
+                else:
+                    value = encode_value(expr.atom.value, self.table) & 1
+                    self.emit(XorConst(ctrl, dst, value ^ 1))
+                return
+            if expr.op == "test":
+                if isinstance(expr.atom, Var):
+                    src = self.alloc.lookup(expr.atom.name)
+                    self.emit(EqConst(ctrl, dst, src, 0, negate=True))
+                else:
+                    value = encode_value(expr.atom.value, self.table)
+                    self.emit(XorConst(ctrl, dst, 1 if value else 0))
+                return
+            raise LoweringError(f"unknown unary op {expr.op!r}")  # pragma: no cover
+        if isinstance(expr, BinOp):
+            self._emit_binop(dst, expr, ctrl)
+            return
+        raise LoweringError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _emit_atom(self, dst, atom: Atom, ctrl: Tuple[int, ...]) -> None:
+        if dst.width == 0:
+            return
+        if isinstance(atom, Var):
+            src = self.alloc.lookup(atom.name)
+            if src.width != dst.width:
+                raise LoweringError(
+                    f"width mismatch: {dst} ^= {src} ({dst.width} vs {src.width})"
+                )
+            self.emit(XorReg(ctrl, dst, src))
+        else:
+            value = encode_value(atom.value, self.table)
+            if value:
+                self.emit(XorConst(ctrl, dst, value))
+
+    def _emit_binop(self, dst, expr: BinOp, ctrl: Tuple[int, ...]) -> None:
+        left = self.operand(expr.left)
+        right = self.operand(expr.right)
+        if isinstance(left, int) and isinstance(right, int):
+            mask = (1 << self.table.config.word_width) - 1
+            value = fold_binop(expr.op, left, right, mask)
+            if value:
+                self.emit(XorConst(ctrl, dst, value))
+            return
+        op = expr.op
+        if op == "&&":
+            self.emit(AndBit(ctrl, dst, left, right))
+        elif op == "||":
+            self.emit(OrBit(ctrl, dst, left, right))
+        elif op == "+":
+            self.emit(AddInto(ctrl, dst, left, right))
+        elif op == "-":
+            self.emit(SubInto(ctrl, dst, left, right))
+        elif op == "*":
+            self.emit(MulInto(ctrl, dst, left, right))
+        elif op in ("==", "!="):
+            negate = op == "!="
+            if isinstance(right, int):
+                self.emit(EqConst(ctrl, dst, left, right, negate=negate))
+            elif isinstance(left, int):
+                self.emit(EqConst(ctrl, dst, right, left, negate=negate))
+            else:
+                self.emit(EqReg(ctrl, dst, left, right, negate=negate))
+        elif op == "<":
+            self.emit(LtInto(ctrl, dst, left, right))
+        elif op == ">":
+            self.emit(LtInto(ctrl, dst, right, left))
+        else:  # pragma: no cover - parser restricts operators
+            raise LoweringError(f"unknown binary op {op!r}")
+
+
+def lower_to_abstract(
+    stmt: Stmt,
+    table: TypeTable,
+    var_types: Dict[str, Type],
+    param_order: Optional[List[str]] = None,
+    base_offset: int = 0,
+) -> AbstractProgram:
+    """Lower a statement to the abstract circuit.
+
+    ``param_order`` pre-declares the program's input variables so that they
+    occupy the first registers in a stable order.
+    """
+    engine = IRLowering(table, var_types, base_offset)
+    for name in param_order or []:
+        engine.alloc.declare(name, engine.width_of(name))
+    engine.lower(stmt)
+    return AbstractProgram(engine.instrs, engine.alloc, table, var_types)

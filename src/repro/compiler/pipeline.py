@@ -1,0 +1,183 @@
+"""End-to-end compilation driver (the Spire/Tower compiler of Section 7).
+
+``compile_source`` runs the full pipeline::
+
+    source --parse/lower/inline--> core IR
+           --[Spire optimization pass: none|spire|flatten|narrow]-->
+           --register allocation + abstract circuit-->
+           --gate lowering--> MCX-level Circuit
+
+The result bundles the circuit with everything needed by the evaluation
+harness: the (optimized) core IR for the cost model, the register map for
+simulation, complexity counts, and stage timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.circuit import Circuit, Register
+from ..config import CompilerConfig
+from ..errors import LoweringError
+from ..ir.core import MemSwap, Stmt
+from ..ir.typecheck import check_program, infer_types
+from ..lang.ast import Program
+from ..lang.desugar import Lowered, lower_entry
+from ..lang.parser import parse_program
+from ..types import Type, TypeTable
+from ..opt.spire import OPTIMIZATIONS
+from .lower_gates import ScratchPool, expand_program
+from .lower_ir import AbstractProgram, lower_to_abstract
+
+
+@dataclass
+class CompiledProgram:
+    """The output of the compilation pipeline."""
+
+    circuit: Circuit
+    core: Stmt
+    table: TypeTable
+    config: CompilerConfig
+    cell_bits: int
+    param_types: Dict[str, Type]
+    return_var: Optional[str]
+    var_types: Dict[str, Type] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    optimization: str = "none"
+
+    # ----------------------------------------------------------- convenience
+    def mcx_complexity(self) -> int:
+        """Gate count on the idealized architecture (Section 5)."""
+        return self.circuit.mcx_complexity()
+
+    def t_complexity(self) -> int:
+        """T gates under the Clifford+T decomposition (Section 5)."""
+        return self.circuit.t_complexity()
+
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    def register(self, name: str) -> Register:
+        return self.circuit.registers[name]
+
+    def memory_image(self, cells: Dict[int, int]) -> Dict[str, int]:
+        """Named register values encoding a heap image {address: value}."""
+        return {f"mem[{addr}]": value for addr, value in cells.items()}
+
+
+def infer_cell_bits(
+    stmt: Stmt, table: TypeTable, var_types: Dict[str, Type]
+) -> int:
+    """Width of a heap cell: the widest type ever swapped into memory."""
+    widest = 0
+    for node in stmt.walk():
+        if isinstance(node, MemSwap):
+            ty = var_types.get(node.value)
+            if ty is None:
+                raise LoweringError(
+                    f"no type for memory-swapped variable {node.value!r}"
+                )
+            widest = max(widest, table.width(ty))
+    return widest
+
+
+def compile_core(
+    stmt: Stmt,
+    table: TypeTable,
+    param_types: Dict[str, Type],
+    optimization: str = "none",
+    return_var: Optional[str] = None,
+    typecheck: bool = True,
+) -> CompiledProgram:
+    """Compile a core IR statement (inputs given by ``param_types``)."""
+    config = table.config
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    if typecheck:
+        # the user-written program is checked strictly (Figure 20)
+        check_program(stmt, table, param_types)
+    optimizer: Callable[[Stmt], Stmt] = OPTIMIZATIONS[optimization]
+    stmt = optimizer(stmt)
+    timings["optimize"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if typecheck and optimization != "none":
+        # optimizer output satisfies a relaxed S-If domain condition only
+        check_program(stmt, table, param_types, relaxed=True)
+    var_types = infer_types(stmt, table, param_types)
+    timings["typecheck"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if config.cell_bits is not None:
+        cell_bits = config.cell_bits
+        needed = infer_cell_bits(stmt, table, var_types)
+        if needed > cell_bits:
+            raise LoweringError(
+                f"configured cell_bits={cell_bits} too narrow; program "
+                f"stores values of {needed} bits"
+            )
+    else:
+        cell_bits = infer_cell_bits(stmt, table, var_types)
+    mem_qubits = config.heap_cells * cell_bits if cell_bits else 0
+    abstract = lower_to_abstract(
+        stmt,
+        table,
+        var_types,
+        param_order=list(param_types),
+        base_offset=mem_qubits,
+    )
+    timings["lower_ir"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    circuit, _scratch = expand_program(abstract, config, cell_bits)
+    timings["lower_gates"] = time.perf_counter() - start
+
+    return CompiledProgram(
+        circuit=circuit,
+        core=stmt,
+        table=table,
+        config=config,
+        cell_bits=cell_bits,
+        param_types=dict(param_types),
+        return_var=return_var,
+        var_types=var_types,
+        timings=timings,
+        optimization=optimization,
+    )
+
+
+def compile_lowered(lowered: Lowered, optimization: str = "none") -> CompiledProgram:
+    """Compile the output of :func:`repro.lang.desugar.lower_entry`."""
+    return compile_core(
+        lowered.stmt,
+        lowered.table,
+        lowered.param_types,
+        optimization=optimization,
+        return_var=lowered.return_var,
+    )
+
+
+def compile_program(
+    program: Program,
+    entry: str,
+    size: Optional[int] = None,
+    config: Optional[CompilerConfig] = None,
+    optimization: str = "none",
+) -> CompiledProgram:
+    """Compile one entry point of a parsed program."""
+    lowered = lower_entry(program, entry, size, config)
+    return compile_lowered(lowered, optimization)
+
+
+def compile_source(
+    source: str,
+    entry: str,
+    size: Optional[int] = None,
+    config: Optional[CompilerConfig] = None,
+    optimization: str = "none",
+) -> CompiledProgram:
+    """Parse and compile a Tower source program in one step."""
+    return compile_program(parse_program(source), entry, size, config, optimization)

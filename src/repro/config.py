@@ -1,0 +1,60 @@
+"""Compiler configuration.
+
+The paper (Section 3.2 and Appendix A) assumes a constant bit width for
+integer and pointer registers, with only the recursion depth ``n`` treated as
+a variable.  :class:`CompilerConfig` makes those constants explicit:
+
+* ``word_width`` — bits of a ``uint`` register (the paper's running example
+  mentions 8-bit registers; our benchmark defaults use 4 to keep circuits
+  tractable in pure Python, which only changes constant factors, see
+  Appendix A and ``benchmarks/bench_appendix_a.py``).
+* ``addr_width`` — bits of a ``ptr<T>`` register.
+* ``heap_cells`` — number of addressable memory cells; address 0 is the null
+  pointer and is never backed by storage, so valid cells are ``1..heap_cells``.
+* ``cell_bits`` — width of one memory cell.  ``None`` means "inferred from
+  the program": the compiler sizes cells to the widest type that is ever
+  swapped into memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Static architecture parameters for compilation and cost analysis."""
+
+    word_width: int = 4
+    addr_width: int = 4
+    heap_cells: int = 8
+    cell_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.word_width < 1:
+            raise ValueError("word_width must be >= 1")
+        if self.addr_width < 1:
+            raise ValueError("addr_width must be >= 1")
+        if self.heap_cells < 0:
+            raise ValueError("heap_cells must be >= 0")
+        if self.heap_cells >= (1 << self.addr_width):
+            raise ValueError(
+                f"heap_cells={self.heap_cells} does not fit in addr_width="
+                f"{self.addr_width} bits (address 0 is reserved for null)"
+            )
+        if self.cell_bits is not None and self.cell_bits < 1:
+            raise ValueError("cell_bits must be >= 1 when given")
+
+    def with_cell_bits(self, bits: int) -> "CompilerConfig":
+        """Return a copy of this config with ``cell_bits`` resolved."""
+        return replace(self, cell_bits=bits)
+
+
+#: Config used throughout the test suite: small enough to simulate.
+TINY = CompilerConfig(word_width=2, addr_width=2, heap_cells=3)
+
+#: Default benchmark config: linked structures of up to 14 nodes.
+DEFAULT = CompilerConfig(word_width=4, addr_width=4, heap_cells=14)
+
+#: Paper-style config (8-bit registers, Section 3.5); large circuits.
+PAPER = CompilerConfig(word_width=8, addr_width=8, heap_cells=32)

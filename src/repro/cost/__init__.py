@@ -1,0 +1,39 @@
+"""Cost models for T-complexity under error correction (Section 5)."""
+
+from .asymptotics import (
+    FitReport,
+    evaluate,
+    fit_degree,
+    fit_polynomial,
+    fit_report,
+    format_polynomial,
+    measure_scaling,
+)
+from .constants import C_T_CH_IMPL, C_T_CH_PAPER, C_T_CTRL, t_ch, t_mcx
+from .exact import ControlProfile, ExactCostModel, exact_counts
+from .model import CostReport, PaperCostModel, predicted_counts
+from .resources import ResourceReport, estimate_resources, schedule_depth
+
+__all__ = [
+    "FitReport",
+    "evaluate",
+    "fit_degree",
+    "fit_polynomial",
+    "fit_report",
+    "format_polynomial",
+    "measure_scaling",
+    "C_T_CH_IMPL",
+    "C_T_CH_PAPER",
+    "C_T_CTRL",
+    "t_ch",
+    "t_mcx",
+    "ControlProfile",
+    "ExactCostModel",
+    "exact_counts",
+    "CostReport",
+    "PaperCostModel",
+    "predicted_counts",
+    "ResourceReport",
+    "estimate_resources",
+    "schedule_depth",
+]

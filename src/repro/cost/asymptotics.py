@@ -1,0 +1,143 @@
+"""Asymptotic analysis by exact polynomial fitting.
+
+Section 8.1 methodology: "To determine the scaling in the recursion depth n
+..., we repeated the process for depths from 2 to 10 and found the
+lowest-degree polynomial that exactly fits the T-complexities."
+
+:func:`fit_polynomial` does exactly that, over rationals, and
+:func:`fit_report` renders results in the style of Table 1
+(``15722n^2+19292n+3934`` or ``O(n^2)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+def _interpolate(points: Sequence[Tuple[int, Fraction]]) -> List[Fraction]:
+    """Lagrange interpolation through all given points (exact, rational).
+
+    Returns coefficients lowest-degree-first.
+    """
+    n = len(points)
+    coeffs = [Fraction(0)] * n
+    for i, (xi, yi) in enumerate(points):
+        # basis polynomial L_i expanded into coefficients
+        basis = [Fraction(1)]
+        denom = Fraction(1)
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            denom *= xi - xj
+            # basis *= (x - xj)
+            new = [Fraction(0)] * (len(basis) + 1)
+            for k, c in enumerate(basis):
+                new[k] += c * (-xj)
+                new[k + 1] += c
+            basis = new
+        scale = yi / denom
+        for k, c in enumerate(basis):
+            coeffs[k] += c * scale
+    while len(coeffs) > 1 and coeffs[-1] == 0:
+        coeffs.pop()
+    return coeffs
+
+
+def evaluate(coeffs: Sequence[Fraction], x: int) -> Fraction:
+    """Evaluate a coefficient list (lowest degree first) at ``x``."""
+    result = Fraction(0)
+    for c in reversed(coeffs):
+        result = result * x + c
+    return result
+
+
+def fit_polynomial(
+    xs: Sequence[int], ys: Sequence[int]
+) -> Optional[List[Fraction]]:
+    """The lowest-degree polynomial exactly fitting (xs, ys), or None.
+
+    Tries increasing degrees: a degree-d candidate is interpolated through
+    the first d+1 points and accepted only if it reproduces every remaining
+    point exactly.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need equal, nonempty xs and ys")
+    points = [(x, Fraction(y)) for x, y in zip(xs, ys)]
+    for degree in range(len(points)):
+        coeffs = _interpolate(points[: degree + 1])
+        if all(evaluate(coeffs, x) == y for x, y in points):
+            return coeffs
+    return None  # pragma: no cover - full degree always fits
+
+
+def fit_degree(xs: Sequence[int], ys: Sequence[int]) -> int:
+    """Degree of the lowest-degree exactly-fitting polynomial."""
+    coeffs = fit_polynomial(xs, ys)
+    assert coeffs is not None
+    return len(coeffs) - 1
+
+
+def format_polynomial(coeffs: Sequence[Fraction], var: str = "n") -> str:
+    """Render a coefficient list in the style of Table 1."""
+    terms: List[str] = []
+    for power in range(len(coeffs) - 1, -1, -1):
+        c = coeffs[power]
+        if c == 0:
+            continue
+        if c.denominator == 1:
+            mag = str(abs(c.numerator))
+        else:
+            mag = f"({abs(c.numerator)}/{c.denominator})"
+        if power == 0:
+            body = mag
+        else:
+            head = "" if mag == "1" else mag
+            body = f"{head}{var}" if power == 1 else f"{head}{var}^{power}"
+        sign = "-" if c < 0 else ("+" if terms else "")
+        terms.append(f"{sign}{body}")
+    return "".join(terms) if terms else "0"
+
+
+@dataclass
+class FitReport:
+    """A fitted complexity curve."""
+
+    xs: Tuple[int, ...]
+    ys: Tuple[int, ...]
+    coeffs: Tuple[Fraction, ...]
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    @property
+    def big_o(self) -> str:
+        if self.degree == 0:
+            return "O(1)"
+        if self.degree == 1:
+            return "O(n)"
+        return f"O(n^{self.degree})"
+
+    @property
+    def polynomial(self) -> str:
+        return format_polynomial(self.coeffs)
+
+    def __str__(self) -> str:
+        return f"{self.polynomial}  [{self.big_o}]"
+
+
+def fit_report(xs: Sequence[int], ys: Sequence[int]) -> FitReport:
+    """Fit and package a complexity curve."""
+    coeffs = fit_polynomial(xs, ys)
+    assert coeffs is not None
+    return FitReport(tuple(xs), tuple(ys), tuple(coeffs))
+
+
+def measure_scaling(
+    fn: Callable[[int], int], depths: Sequence[int]
+) -> FitReport:
+    """Evaluate ``fn`` at each depth and fit the resulting curve."""
+    ys = [fn(d) for d in depths]
+    return fit_report(list(depths), ys)

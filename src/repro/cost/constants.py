@@ -1,0 +1,40 @@
+"""Cost-model constants (Section 5).
+
+* ``C_T_CTRL = 14`` — T gates per additional control bit on a
+  multi-controlled gate: one extra control adds two Toffoli gates in the
+  Figure 5 ladder, each costing 7 T gates by Figure 6.
+* ``C_T_CH_PAPER = 8`` — the paper's controlled-Hadamard constant, from the
+  construction of Lee et al. [2021, Figure 17].
+* ``C_T_CH_IMPL = 2 + 7 = 9`` — the constant realized by *this* compiler's
+  CH construction (``A · CX · A†`` with ``A = S·H·T``, whose inner CNOT
+  grows to a Toffoli under one control).  Theorems 5.1/5.2 hold "up to
+  choices for the constants"; the exact model uses the implementation value
+  so that it matches compiled circuits gate-for-gate, while the paper model
+  defaults to the paper's value.
+
+``t_mcx`` and ``t_ch`` are the per-gate T costs both models and the circuit
+layer share.
+"""
+
+from __future__ import annotations
+
+from ..circuit.gates import t_cost_of_controlled_h, t_cost_of_mcx
+
+#: T gates per additional control bit (2 Toffolis x 7 T).
+C_T_CTRL = 14
+
+#: Controlled-Hadamard T cost used by the paper (Lee et al. 2021).
+C_T_CH_PAPER = 8
+
+#: Controlled-Hadamard T cost realized by this compiler's decomposition.
+C_T_CH_IMPL = t_cost_of_controlled_h(1)
+
+
+def t_mcx(num_controls: int) -> int:
+    """T cost of an MCX gate with ``num_controls`` controls (Figures 5-6)."""
+    return t_cost_of_mcx(num_controls)
+
+
+def t_ch(num_controls: int) -> int:
+    """T cost of a Hadamard with ``num_controls`` controls (implementation)."""
+    return t_cost_of_controlled_h(num_controls)

@@ -1,0 +1,125 @@
+"""The paper's cost model (Section 5), as syntax-directed equations.
+
+``C_MCX`` follows the left column of Section 5::
+
+    C_MCX(skip) = 0                  C_MCX(s1; s2) = C_MCX(s1) + C_MCX(s2)
+    C_MCX(if x { s }) = C_MCX(s)     C_MCX(s) = c_MCX_s   otherwise
+
+``C_T`` follows the right column; with ``m`` enclosing quantum ifs::
+
+    C_T(if x { s1; s2 })   = C_T(if x { s1 }) + C_T(if x { s2 })
+    C_T(if x { H(y) })     = c_T_CH            (+ c_T_ctrl per extra level)
+    C_T(if x { y <- v })   = 0 for a constant v (one control on X is free)
+    C_T(if x { s })        = c_T_ctrl * C_MCX(s) + C_T(s)   otherwise
+
+The per-primitive constants ``c_MCX_s`` and ``c_T_s`` are "determined by the
+implementation of s" (Section 5) — we read them off the very lowering the
+compiler uses, via :class:`repro.cost.exact.ExactCostModel`.  The difference
+between this model and the exact one is deliberate: this one charges the
+flat ``c_T_ctrl = 14`` for *every* control including the first two (whose
+true marginal costs are 7 and 0/7), which is how the paper states it.  Both
+agree asymptotically; the test suite checks degrees match.
+
+``with { s1 } do { s2 }`` is costed as its expansion ``s1; s2; I[s1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import CostModelError
+from ..ir.core import (
+    Assign,
+    AtomE,
+    Hadamard,
+    If,
+    Lit,
+    Seq,
+    Skip,
+    Stmt,
+    UnAssign,
+    With,
+)
+from ..types import Type, TypeTable
+from .constants import C_T_CH_PAPER, C_T_CTRL
+from .exact import ExactCostModel
+
+
+@dataclass
+class CostReport:
+    """Predicted complexities of a program."""
+
+    mcx: int
+    t: int
+
+
+class PaperCostModel:
+    """Evaluates the Section 5 equations on core IR."""
+
+    def __init__(
+        self,
+        table: TypeTable,
+        var_types: Dict[str, Type],
+        cell_bits: int = 0,
+        c_t_ctrl: int = C_T_CTRL,
+        c_t_ch: int = C_T_CH_PAPER,
+    ) -> None:
+        self._primitives = ExactCostModel(table, var_types, cell_bits)
+        self.c_t_ctrl = c_t_ctrl
+        self.c_t_ch = c_t_ch
+
+    # ------------------------------------------------------- MCX-complexity
+    def c_mcx(self, stmt: Stmt) -> int:
+        if isinstance(stmt, Skip):
+            return 0
+        if isinstance(stmt, Seq):
+            return sum(self.c_mcx(sub) for sub in stmt.stmts)
+        if isinstance(stmt, If):
+            return self.c_mcx(stmt.body)
+        if isinstance(stmt, With):
+            return 2 * self.c_mcx(stmt.setup) + self.c_mcx(stmt.body)
+        return self._primitives._primitive(stmt).mcx_complexity()
+
+    # --------------------------------------------------------- T-complexity
+    def c_t(self, stmt: Stmt, depth: int = 0) -> int:
+        if isinstance(stmt, Skip):
+            return 0
+        if isinstance(stmt, Seq):
+            return sum(self.c_t(sub, depth) for sub in stmt.stmts)
+        if isinstance(stmt, If):
+            return self.c_t(stmt.body, depth + 1)
+        if isinstance(stmt, With):
+            return 2 * self.c_t(stmt.setup, depth) + self.c_t(stmt.body, depth)
+        return self._primitive_t(stmt, depth)
+
+    def _primitive_t(self, stmt: Stmt, depth: int) -> int:
+        profile = self._primitives._primitive(stmt)
+        c_mcx_s = profile.mcx_complexity()
+        c_t_s = profile.t_complexity()
+        if isinstance(stmt, Hadamard):
+            if depth == 0:
+                return 0
+            return self.c_t_ch + (depth - 1) * self.c_t_ctrl
+        if isinstance(stmt, (Assign, UnAssign)):
+            expr = stmt.expr
+            if isinstance(expr, AtomE) and isinstance(expr.atom, Lit):
+                # if x { y <- v }: a control on X gates yields CNOTs, which
+                # are Clifford; only levels beyond the first cost anything.
+                return max(0, depth - 1) * self.c_t_ctrl * c_mcx_s
+        return depth * self.c_t_ctrl * c_mcx_s + c_t_s
+
+    # -------------------------------------------------------------- summary
+    def report(self, stmt: Stmt) -> CostReport:
+        return CostReport(mcx=self.c_mcx(stmt), t=self.c_t(stmt))
+
+
+def predicted_counts(
+    stmt: Stmt,
+    table: TypeTable,
+    var_types: Dict[str, Type],
+    cell_bits: int = 0,
+) -> CostReport:
+    """Predicted (MCX, T) complexities under the paper's cost model."""
+    model = PaperCostModel(table, var_types, cell_bits)
+    return model.report(stmt)

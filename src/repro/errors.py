@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every user-facing error raised by the language frontend, the compiler, the
+cost model, or the optimizers derives from :class:`ReproError`, so callers
+can catch one type to handle any failure of the toolchain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters an invalid character or token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the parser encounters a malformed program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{line}:{column}: {message}" if line else message)
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(ReproError):
+    """Raised when a program is not well-formed under the Tower type system."""
+
+
+class InlineError(ReproError):
+    """Raised when bounded-recursion inlining fails (unknown function,
+    non-constant recursion bound, arity mismatch, ...)."""
+
+
+class LoweringError(ReproError):
+    """Raised when core IR cannot be lowered to a circuit."""
+
+
+class AllocationError(ReproError):
+    """Raised when register allocation cannot satisfy the Appendix D rule."""
+
+
+class SimulationError(ReproError):
+    """Raised by the circuit simulators (unsupported gate, bad state, ...)."""
+
+
+class CostModelError(ReproError):
+    """Raised when the cost model is applied to an ill-formed program."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a program- or circuit-level optimization fails."""

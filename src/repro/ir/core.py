@@ -1,0 +1,465 @@
+"""Core intermediate representation of Tower (Figure 13, Section 4).
+
+The core IR is the rewrite target of the Spire optimizations, so — following
+Section 7 ("we modified the core IR to add with-do blocks") — ``With`` is a
+first-class statement here rather than a derived form.
+
+Grammar (paper syntax on the left):
+
+* values ``v`` — :class:`UnitV`, :class:`UIntV`, :class:`BoolV`,
+  :class:`PtrV` (``null`` is ``PtrV(0, τ)``), :class:`TupleV`;
+* atoms — :class:`Var` or :class:`Lit` (a value in operand position);
+* expressions ``e`` — :class:`AtomE`, :class:`Pair` ``(x1, x2)``,
+  :class:`Proj` ``πi(x)``, :class:`UnOp` ``not/test``, :class:`BinOp`
+  ``&& || + - * == != < >``;
+* statements ``s`` — :class:`Skip`, :class:`Seq`, :class:`Assign`
+  ``x ← e``, :class:`UnAssign` ``x → e``, :class:`If` ``if x { s }``,
+  :class:`With` ``with { s1 } do { s2 }``, :class:`Hadamard` ``H(x)``,
+  :class:`Swap` ``x1 ⇔ x2``, :class:`MemSwap` ``*x1 ⇔ x2``.
+
+Comparison operators ``== != < >`` are a conservative extension of the
+paper's binary-operator set (the paper's examples use ``xs == null`` and the
+radix-tree benchmark needs string ordering); each is a primitive operation
+with an O(1) cost constant in the cost model, exactly like ``+`` or ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from ..errors import TypeCheckError
+from ..types import BOOL, UINT, BoolT, PtrT, TupleT, Type, TypeTable, UIntT, UnitT
+
+
+# ----------------------------------------------------------------- values
+class Value:
+    """Base class for runtime values."""
+
+    def type_of(self) -> Type:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UnitV(Value):
+    """The unit value ``()``."""
+
+    def type_of(self) -> Type:
+        return UnitT()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class UIntV(Value):
+    """An unsigned integer literal."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise TypeCheckError("uint literals are non-negative")
+
+    def type_of(self) -> Type:
+        return UINT
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolV(Value):
+    """A boolean literal."""
+
+    value: bool
+
+    def type_of(self) -> Type:
+        return BOOL
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class PtrV(Value):
+    """A pointer literal; ``PtrV(0, τ)`` is ``null_τ``."""
+
+    addr: int
+    elem: Type
+
+    def type_of(self) -> Type:
+        return PtrT(self.elem)
+
+    def __str__(self) -> str:
+        return "null" if self.addr == 0 else f"ptr[{self.addr}]"
+
+
+@dataclass(frozen=True)
+class TupleV(Value):
+    """A pair of values."""
+
+    first: Value
+    second: Value
+
+    def type_of(self) -> Type:
+        return TupleT(self.first.type_of(), self.second.type_of())
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+def zero_value(ty: Type, table: TypeTable) -> Value:
+    """The all-zero (``default``) value of a type."""
+    resolved = table.resolve(ty)
+    if isinstance(resolved, UnitT):
+        return UnitV()
+    if isinstance(resolved, UIntT):
+        return UIntV(0)
+    if isinstance(resolved, BoolT):
+        return BoolV(False)
+    if isinstance(resolved, PtrT):
+        return PtrV(0, resolved.elem)
+    if isinstance(resolved, TupleT):
+        return TupleV(zero_value(resolved.first, table), zero_value(resolved.second, table))
+    raise TypeCheckError(f"no default for type {ty}")  # pragma: no cover
+
+
+def encode_value(value: Value, table: TypeTable) -> int:
+    """Bit-level encoding of a value (tuples: first component in low bits)."""
+    if isinstance(value, UnitV):
+        return 0
+    if isinstance(value, UIntV):
+        width = table.config.word_width
+        if value.value >= (1 << width):
+            raise TypeCheckError(
+                f"literal {value.value} does not fit in {width}-bit uint"
+            )
+        return value.value
+    if isinstance(value, BoolV):
+        return 1 if value.value else 0
+    if isinstance(value, PtrV):
+        if value.addr >= (1 << table.config.addr_width):
+            raise TypeCheckError(f"address {value.addr} does not fit pointer width")
+        return value.addr
+    if isinstance(value, TupleV):
+        low = encode_value(value.first, table)
+        high = encode_value(value.second, table)
+        return low | (high << table.width(value.first.type_of()))
+    raise TypeCheckError(f"cannot encode {value}")  # pragma: no cover
+
+
+# ------------------------------------------------------------------ atoms
+@dataclass(frozen=True)
+class Var:
+    """A variable reference in operand position."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A value literal in operand position."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Atom = Union[Var, Lit]
+
+
+# ------------------------------------------------------------- expressions
+class Expr:
+    """Base class for expressions."""
+
+    def atoms(self) -> Tuple[Atom, ...]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AtomE(Expr):
+    """An atom used as an expression."""
+
+    atom: Atom
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return (self.atom,)
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Pair(Expr):
+    """Tuple formation ``(x1, x2)``."""
+
+    first: Atom
+    second: Atom
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return (self.first, self.second)
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class Proj(Expr):
+    """Projection ``πindex(x)`` with ``index`` in {1, 2}."""
+
+    index: int
+    atom: Atom
+
+    def __post_init__(self) -> None:
+        if self.index not in (1, 2):
+            raise TypeCheckError("projection index must be 1 or 2")
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return (self.atom,)
+
+    def __str__(self) -> str:
+        return f"{self.atom}.{self.index}"
+
+
+UNARY_OPS = ("not", "test")
+BINARY_OPS = ("&&", "||", "+", "-", "*", "==", "!=", "<", ">")
+#: Binary operators whose result is bool.
+COMPARISON_OPS = ("==", "!=", "<", ">")
+#: Binary operators over uint operands.
+ARITH_OPS = ("+", "-", "*")
+#: Binary operators over bool operands.
+LOGIC_OPS = ("&&", "||")
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operation ``not x`` (bool) or ``test x`` (uint/ptr ≠ 0)."""
+
+    op: str
+    atom: Atom
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise TypeCheckError(f"unknown unary operator {self.op!r}")
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return (self.atom,)
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.atom}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation ``x1 op x2``."""
+
+    op: str
+    left: Atom
+    right: Atom
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise TypeCheckError(f"unknown binary operator {self.op!r}")
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+# -------------------------------------------------------------- statements
+class Stmt:
+    """Base class for statements."""
+
+    def children(self) -> Tuple["Stmt", ...]:
+        """Immediate sub-statements."""
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Pre-order traversal of the statement tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """The no-op statement."""
+
+    def __str__(self) -> str:
+        return "skip;"
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    """Sequential composition; kept flat as a tuple of statements."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def children(self) -> Tuple[Stmt, ...]:
+        return self.stmts
+
+    def __str__(self) -> str:
+        return " ".join(str(s) for s in self.stmts)
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Assignment ``let x <- e`` (initializes x; re-declaration XORs)."""
+
+    name: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"let {self.name} <- {self.expr};"
+
+
+@dataclass(frozen=True)
+class UnAssign(Stmt):
+    """Un-assignment ``let x -> e`` (uncomputes and deinitializes x)."""
+
+    name: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"let {self.name} -> {self.expr};"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Quantum conditional ``if x { s }`` on a boolean variable."""
+
+    cond: str
+    body: Stmt
+
+    def children(self) -> Tuple[Stmt, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"if {self.cond} {{ {self.body} }}"
+
+
+@dataclass(frozen=True)
+class With(Stmt):
+    """``with { s1 } do { s2 }``, defined as ``s1; s2; I[s1]`` (Section 4)."""
+
+    setup: Stmt
+    body: Stmt
+
+    def children(self) -> Tuple[Stmt, ...]:
+        return (self.setup, self.body)
+
+    def __str__(self) -> str:
+        return f"with {{ {self.setup} }} do {{ {self.body} }}"
+
+
+@dataclass(frozen=True)
+class Hadamard(Stmt):
+    """``H(x)`` on a boolean variable (Section 4 extension)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"H({self.name});"
+
+
+@dataclass(frozen=True)
+class Swap(Stmt):
+    """Register swap ``x1 ⇔ x2``."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} <-> {self.right};"
+
+
+@dataclass(frozen=True)
+class MemSwap(Stmt):
+    """Memory swap ``*x1 ⇔ x2`` (no-op when x1 is null, Section 4)."""
+
+    pointer: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"*{self.pointer} <-> {self.value};"
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    """Smart sequence constructor: flattens nested Seq and drops Skip."""
+    flat: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Skip):
+            continue
+        if isinstance(stmt, Seq):
+            flat.extend(stmt.stmts)
+        else:
+            flat.append(stmt)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def seq_list(stmt: Stmt) -> Tuple[Stmt, ...]:
+    """View a statement as a flat sequence of statements."""
+    if isinstance(stmt, Seq):
+        return stmt.stmts
+    if isinstance(stmt, Skip):
+        return ()
+    return (stmt,)
+
+
+def mod_set(stmt: Stmt) -> frozenset[str]:
+    """The ``mod(s)`` function of Figure 20: variables a statement may modify."""
+    if isinstance(stmt, Skip):
+        return frozenset()
+    if isinstance(stmt, Seq):
+        result: frozenset[str] = frozenset()
+        for sub in stmt.stmts:
+            result |= mod_set(sub)
+        return result
+    if isinstance(stmt, (Assign, UnAssign)):
+        return frozenset({stmt.name})
+    if isinstance(stmt, Hadamard):
+        return frozenset({stmt.name})
+    if isinstance(stmt, Swap):
+        return frozenset({stmt.left, stmt.right})
+    if isinstance(stmt, MemSwap):
+        return frozenset({stmt.value})
+    if isinstance(stmt, If):
+        return mod_set(stmt.body)
+    if isinstance(stmt, With):
+        return mod_set(stmt.setup) | mod_set(stmt.body)
+    raise TypeCheckError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def free_vars(stmt: Stmt) -> frozenset[str]:
+    """All variable names a statement mentions."""
+    names: set[str] = set()
+
+    def visit_expr(expr: Expr) -> None:
+        for atom in expr.atoms():
+            if isinstance(atom, Var):
+                names.add(atom.name)
+
+    for node in stmt.walk():
+        if isinstance(node, (Assign, UnAssign)):
+            names.add(node.name)
+            visit_expr(node.expr)
+        elif isinstance(node, If):
+            names.add(node.cond)
+        elif isinstance(node, Hadamard):
+            names.add(node.name)
+        elif isinstance(node, Swap):
+            names.update((node.left, node.right))
+        elif isinstance(node, MemSwap):
+            names.update((node.pointer, node.value))
+    return frozenset(names)

@@ -1,0 +1,240 @@
+"""Reference interpreter for core IR on classical basis states.
+
+Executes a statement on a machine state ``|R, M⟩`` where ``R`` maps variable
+names to bit-encoded values and ``M`` is the heap (a list of cell values,
+index 0 unused — the null address).  Mirrors the circuit semantics of
+Figure 21 exactly on basis states:
+
+* assignment XORs the evaluated expression into the variable's register
+  (so re-declaration is the XOR of old and new, Appendix B.2);
+* un-assignment XORs it out again;
+* ``if`` executes its body when the condition bit is 1;
+* ``*p <-> x`` swaps through the heap, a no-op when ``p`` is null;
+* ``H(x)`` has no classical semantics and raises.
+
+This is the oracle that the compiled circuits are differentially tested
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import CompilerConfig
+from ..errors import SimulationError, TypeCheckError
+from ..types import PtrT, TupleT, Type, TypeTable, UIntT
+from .core import (
+    Assign,
+    Atom,
+    AtomE,
+    BinOp,
+    Expr,
+    Hadamard,
+    If,
+    Lit,
+    MemSwap,
+    Pair,
+    Proj,
+    Seq,
+    Skip,
+    Stmt,
+    Swap,
+    UnAssign,
+    UnOp,
+    Var,
+    With,
+    encode_value,
+)
+from .reverse import reverse
+from .typecheck import Context, type_of_atom, type_of_expr
+
+
+@dataclass
+class Machine:
+    """A classical machine state ``|R, M⟩`` plus the typing environment."""
+
+    table: TypeTable
+    registers: Dict[str, int] = field(default_factory=dict)
+    memory: List[int] = field(default_factory=list)
+    types: Dict[str, Type] = field(default_factory=dict)
+
+    @classmethod
+    def fresh(
+        cls,
+        table: TypeTable,
+        inputs: Optional[Dict[str, int]] = None,
+        input_types: Optional[Dict[str, Type]] = None,
+        memory: Optional[List[int]] = None,
+    ) -> "Machine":
+        config = table.config
+        mem = list(memory) if memory is not None else [0] * (config.heap_cells + 1)
+        if len(mem) != config.heap_cells + 1:
+            raise SimulationError(
+                f"memory must have heap_cells+1={config.heap_cells + 1} entries"
+            )
+        return cls(
+            table,
+            registers=dict(inputs or {}),
+            memory=mem,
+            types=dict(input_types or {}),
+        )
+
+    @property
+    def config(self) -> CompilerConfig:
+        return self.table.config
+
+    def context(self) -> Context:
+        return Context(self.table, dict(self.types))
+
+    # -------------------------------------------------------------- helpers
+    def width_of(self, ty: Type) -> int:
+        return self.table.width(ty)
+
+    def get(self, name: str) -> int:
+        if name not in self.registers:
+            raise SimulationError(f"read of unbound register {name!r}")
+        return self.registers[name]
+
+
+def eval_atom(machine: Machine, atom: Atom) -> int:
+    if isinstance(atom, Var):
+        return machine.get(atom.name)
+    if isinstance(atom, Lit):
+        return encode_value(atom.value, machine.table)
+    raise SimulationError(f"unknown atom {atom!r}")  # pragma: no cover
+
+
+def eval_expr(machine: Machine, expr: Expr) -> int:
+    """Evaluate an expression to its bit encoding."""
+    table = machine.table
+    ctx = machine.context()
+    if isinstance(expr, AtomE):
+        return eval_atom(machine, expr.atom)
+    if isinstance(expr, Pair):
+        left = eval_atom(machine, expr.first)
+        right = eval_atom(machine, expr.second)
+        lwidth = machine.width_of(type_of_atom(ctx, expr.first))
+        return left | (right << lwidth)
+    if isinstance(expr, Proj):
+        ty = table.resolve(type_of_atom(ctx, expr.atom))
+        if not isinstance(ty, TupleT):
+            raise SimulationError(f"projection from non-tuple {ty}")
+        value = eval_atom(machine, expr.atom)
+        w1 = machine.width_of(ty.first)
+        if expr.index == 1:
+            return value & ((1 << w1) - 1) if w1 else 0
+        w2 = machine.width_of(ty.second)
+        return (value >> w1) & ((1 << w2) - 1) if w2 else 0
+    if isinstance(expr, UnOp):
+        value = eval_atom(machine, expr.atom)
+        if expr.op == "not":
+            return value ^ 1
+        if expr.op == "test":
+            return 1 if value != 0 else 0
+        raise SimulationError(f"unknown unop {expr.op!r}")  # pragma: no cover
+    if isinstance(expr, BinOp):
+        left = eval_atom(machine, expr.left)
+        right = eval_atom(machine, expr.right)
+        word_mask = (1 << machine.config.word_width) - 1
+        if expr.op == "&&":
+            return left & right & 1
+        if expr.op == "||":
+            return (left | right) & 1
+        if expr.op == "+":
+            return (left + right) & word_mask
+        if expr.op == "-":
+            return (left - right) & word_mask
+        if expr.op == "*":
+            return (left * right) & word_mask
+        if expr.op == "==":
+            return 1 if left == right else 0
+        if expr.op == "!=":
+            return 1 if left != right else 0
+        if expr.op == "<":
+            return 1 if left < right else 0
+        if expr.op == ">":
+            return 1 if left > right else 0
+        raise SimulationError(f"unknown binop {expr.op!r}")  # pragma: no cover
+    raise SimulationError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def run_stmt(machine: Machine, stmt: Stmt) -> None:
+    """Execute a statement, mutating the machine state."""
+    if isinstance(stmt, Skip):
+        return
+    if isinstance(stmt, Seq):
+        for sub in stmt.stmts:
+            run_stmt(machine, sub)
+        return
+    if isinstance(stmt, Assign):
+        ty = type_of_expr(machine.context(), stmt.expr)
+        value = eval_expr(machine, stmt.expr)
+        machine.registers[stmt.name] = machine.registers.get(stmt.name, 0) ^ value
+        if stmt.name in machine.types:
+            if not machine.table.equal(machine.types[stmt.name], ty):
+                raise TypeCheckError(f"re-declaration of {stmt.name!r} at new type")
+        machine.types[stmt.name] = ty
+        return
+    if isinstance(stmt, UnAssign):
+        value = eval_expr(machine, stmt.expr)
+        current = machine.get(stmt.name)
+        machine.registers[stmt.name] = current ^ value
+        # the binding disappears from scope but the register (and any
+        # residual garbage, for incorrect programs) remains, mirroring
+        # the circuit; the type stays known for later re-declaration.
+        return
+    if isinstance(stmt, If):
+        cond = machine.get(stmt.cond)
+        if cond & 1:
+            run_stmt(machine, stmt.body)
+        return
+    if isinstance(stmt, With):
+        run_stmt(machine, stmt.setup)
+        run_stmt(machine, stmt.body)
+        run_stmt(machine, reverse(stmt.setup))
+        return
+    if isinstance(stmt, Swap):
+        left = machine.get(stmt.left)
+        right = machine.get(stmt.right)
+        machine.registers[stmt.left] = right
+        machine.registers[stmt.right] = left
+        return
+    if isinstance(stmt, MemSwap):
+        addr = machine.get(stmt.pointer)
+        if addr == 0:
+            return  # null dereference is a no-op (Section 4)
+        if addr >= len(machine.memory):
+            raise SimulationError(
+                f"address {addr} outside heap of {len(machine.memory) - 1} cells"
+            )
+        vty = machine.types.get(stmt.value)
+        if vty is None:
+            raise SimulationError(f"memory swap with unbound {stmt.value!r}")
+        width = machine.width_of(vty)
+        mask = (1 << width) - 1
+        reg = machine.get(stmt.value)
+        cell = machine.memory[addr]
+        new_reg = cell & mask
+        new_cell = (cell & ~mask) | (reg & mask)
+        machine.registers[stmt.value] = new_reg
+        machine.memory[addr] = new_cell
+        return
+    if isinstance(stmt, Hadamard):
+        raise SimulationError(
+            "H(x) has no classical semantics; use the statevector simulator"
+        )
+    raise SimulationError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def run_program(
+    stmt: Stmt,
+    table: TypeTable,
+    inputs: Optional[Dict[str, int]] = None,
+    input_types: Optional[Dict[str, Type]] = None,
+    memory: Optional[List[int]] = None,
+) -> Machine:
+    """Run a program from a fresh machine state and return the final state."""
+    machine = Machine.fresh(table, inputs, input_types, memory)
+    run_stmt(machine, stmt)
+    return machine

@@ -1,0 +1,50 @@
+"""Pretty-printing of core IR statements as (re-parseable) Tower-like text."""
+
+from __future__ import annotations
+
+from .core import (
+    Assign,
+    Hadamard,
+    If,
+    MemSwap,
+    Seq,
+    Skip,
+    Stmt,
+    Swap,
+    UnAssign,
+    With,
+)
+
+_INDENT = "  "
+
+
+def pretty(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement with one statement per line and nested braces."""
+    pad = _INDENT * indent
+    if isinstance(stmt, Skip):
+        return f"{pad}skip;"
+    if isinstance(stmt, Seq):
+        return "\n".join(pretty(s, indent) for s in stmt.stmts)
+    if isinstance(stmt, Assign):
+        return f"{pad}let {stmt.name} <- {stmt.expr};"
+    if isinstance(stmt, UnAssign):
+        return f"{pad}let {stmt.name} -> {stmt.expr};"
+    if isinstance(stmt, Hadamard):
+        return f"{pad}H({stmt.name});"
+    if isinstance(stmt, Swap):
+        return f"{pad}{stmt.left} <-> {stmt.right};"
+    if isinstance(stmt, MemSwap):
+        return f"{pad}*{stmt.pointer} <-> {stmt.value};"
+    if isinstance(stmt, If):
+        body = pretty(stmt.body, indent + 1)
+        return f"{pad}if {stmt.cond} {{\n{body}\n{pad}}}"
+    if isinstance(stmt, With):
+        setup = pretty(stmt.setup, indent + 1)
+        body = pretty(stmt.body, indent + 1)
+        return f"{pad}with {{\n{setup}\n{pad}}} do {{\n{body}\n{pad}}}"
+    raise ValueError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def stmt_size(stmt: Stmt) -> int:
+    """Number of nodes in a statement tree (used in tests and reports)."""
+    return sum(1 for _ in stmt.walk())

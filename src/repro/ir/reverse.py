@@ -1,0 +1,66 @@
+"""The statement reversal operator ``I[s]`` (Section 4, Derived Forms).
+
+Every Tower statement is reversible:
+
+* ``I[s1; s2] = I[s2]; I[s1]``
+* ``I[x ← e] = x → e`` and vice versa
+* ``I[if x { s }] = if x { I[s] }``
+* ``I[with { s1 } do { s2 }] = with { s1 } do { I[s2] }`` (since
+  ``with`` expands to ``s1; s2; I[s1]``, whose reverse is
+  ``s1; I[s2]; I[s1]``)
+* every other statement is its own reverse.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from .core import (
+    Assign,
+    Hadamard,
+    If,
+    MemSwap,
+    Seq,
+    Skip,
+    Stmt,
+    Swap,
+    UnAssign,
+    With,
+)
+
+
+def reverse(stmt: Stmt) -> Stmt:
+    """Return ``I[stmt]``, the statement whose semantics reverse ``stmt``."""
+    if isinstance(stmt, Skip):
+        return stmt
+    if isinstance(stmt, Seq):
+        return Seq(tuple(reverse(s) for s in reversed(stmt.stmts)))
+    if isinstance(stmt, Assign):
+        return UnAssign(stmt.name, stmt.expr)
+    if isinstance(stmt, UnAssign):
+        return Assign(stmt.name, stmt.expr)
+    if isinstance(stmt, If):
+        return If(stmt.cond, reverse(stmt.body))
+    if isinstance(stmt, With):
+        return With(stmt.setup, reverse(stmt.body))
+    if isinstance(stmt, (Hadamard, Swap, MemSwap)):
+        return stmt
+    raise TypeCheckError(f"cannot reverse {stmt!r}")  # pragma: no cover
+
+
+def expand_with(stmt: Stmt) -> Stmt:
+    """Expand every ``with { s1 } do { s2 }`` into ``s1; s2; I[s1]``.
+
+    Spire keeps ``with`` in the core IR for the benefit of the rewrite rules;
+    this pass removes it before circuit lowering.
+    """
+    from .core import seq  # local import to avoid cycle at module load
+
+    if isinstance(stmt, Seq):
+        return seq(*(expand_with(s) for s in stmt.stmts))
+    if isinstance(stmt, If):
+        return If(stmt.cond, expand_with(stmt.body))
+    if isinstance(stmt, With):
+        setup = expand_with(stmt.setup)
+        body = expand_with(stmt.body)
+        return seq(setup, body, reverse(setup))
+    return stmt

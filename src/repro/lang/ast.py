@@ -1,0 +1,231 @@
+"""Surface abstract syntax tree for the Tower language.
+
+The surface language is richer than the core IR of Figure 13: it has nested
+expressions, if-else, function definitions with bounded-recursion
+annotations ``fun f[n](...)``, and calls ``f[n-1](args)``.  The desugarer
+(:mod:`repro.lang.desugar`) lowers all of this to core IR, inlining every
+call as the Tower compiler does (Section 4: "all recursive function
+definitions and calls are inlined by the compiler").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..types import Type
+
+
+# ------------------------------------------------------------- expressions
+class SExpr:
+    """Base class for surface expressions."""
+
+
+@dataclass(frozen=True)
+class EInt(SExpr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class EBool(SExpr):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class EUnit(SExpr):
+    """The unit literal ``()``."""
+
+
+@dataclass(frozen=True)
+class ENull(SExpr):
+    """``null``; its pointer type is inferred from context."""
+
+
+@dataclass(frozen=True)
+class EDefault(SExpr):
+    """``default<T>``: the all-zero value of T."""
+
+    ty: Type
+
+
+@dataclass(frozen=True)
+class EVar(SExpr):
+    """Variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EPair(SExpr):
+    """Tuple formation ``(e1, e2)``."""
+
+    first: SExpr
+    second: SExpr
+
+
+@dataclass(frozen=True)
+class EProj(SExpr):
+    """Projection ``e.1`` or ``e.2``."""
+
+    expr: SExpr
+    index: int
+
+
+@dataclass(frozen=True)
+class EUn(SExpr):
+    """Unary operation ``not e`` or ``test e``."""
+
+    op: str
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class EBin(SExpr):
+    """Binary operation ``e1 op e2``."""
+
+    op: str
+    left: SExpr
+    right: SExpr
+
+
+@dataclass(frozen=True)
+class SizeExpr:
+    """A recursion-bound expression: ``n - offset`` or a constant.
+
+    ``var`` is the enclosing function's size parameter (or None for a
+    constant); the value is ``env[var] - offset`` (or just ``-offset`` with
+    offset negated, i.e. ``offset`` holds the constant when var is None).
+    """
+
+    var: Optional[str]
+    offset: int
+
+    def evaluate(self, env: dict) -> int:
+        if self.var is None:
+            return self.offset
+        if self.var not in env:
+            raise KeyError(f"unknown size parameter {self.var!r}")
+        return env[self.var] - self.offset
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return str(self.offset)
+        if self.offset == 0:
+            return self.var
+        return f"{self.var}-{self.offset}"
+
+
+@dataclass(frozen=True)
+class ECall(SExpr):
+    """A call ``f[k](e1, ..., em)``; ``size`` is None for unsized functions."""
+
+    func: str
+    size: Optional[SizeExpr]
+    args: Tuple[SExpr, ...]
+
+
+# -------------------------------------------------------------- statements
+class SStmt:
+    """Base class for surface statements."""
+
+
+@dataclass(frozen=True)
+class SLet(SStmt):
+    """``let x <- e;`` (forward=True) or ``let x -> e;`` (forward=False)."""
+
+    name: str
+    expr: SExpr
+    forward: bool = True
+
+
+@dataclass(frozen=True)
+class SSwapS(SStmt):
+    """``x <-> y;``"""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class SMemSwap(SStmt):
+    """``*p <-> x;``"""
+
+    pointer: str
+    value: str
+
+
+@dataclass(frozen=True)
+class SIf(SStmt):
+    """``if e { ... } else { ... }`` (else optional)."""
+
+    cond: SExpr
+    then: Tuple[SStmt, ...]
+    otherwise: Optional[Tuple[SStmt, ...]] = None
+
+
+@dataclass(frozen=True)
+class SWith(SStmt):
+    """``with { ... } do { ... }``."""
+
+    setup: Tuple[SStmt, ...]
+    body: Tuple[SStmt, ...]
+
+
+@dataclass(frozen=True)
+class SHadamard(SStmt):
+    """``H(x);``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SSkip(SStmt):
+    """``skip;``"""
+
+
+# ------------------------------------------------------------- definitions
+@dataclass(frozen=True)
+class FunDef:
+    """A function definition.
+
+    ``size_param`` is the bounded-recursion annotation (``fun f[n]``);
+    ``return_var`` is the variable named in the trailing ``return`` statement
+    and ``return_type`` its optional annotation (required for recursive
+    functions so that the ``f[0]`` base case has a known zero value).
+    """
+
+    name: str
+    size_param: Optional[str]
+    params: Tuple[Tuple[str, Type], ...]
+    body: Tuple[SStmt, ...]
+    return_var: Optional[str]
+    return_type: Optional[Type] = None
+
+
+@dataclass(frozen=True)
+class TypeDef:
+    """``type name = τ;``"""
+
+    name: str
+    ty: Type
+
+
+@dataclass
+class Program:
+    """A parsed Tower program: type declarations plus function definitions."""
+
+    typedefs: List[TypeDef] = field(default_factory=list)
+    fundefs: List[FunDef] = field(default_factory=list)
+
+    def fun(self, name: str) -> FunDef:
+        for f in self.fundefs:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function named {name!r}")
+
+    def has_fun(self, name: str) -> bool:
+        return any(f.name == name for f in self.fundefs)

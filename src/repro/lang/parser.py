@@ -1,0 +1,411 @@
+"""Recursive-descent parser for the Tower surface language.
+
+Grammar (statements follow Figure 1 and Section 4):
+
+.. code-block:: text
+
+   program  := (typedef | fundef)*
+   typedef  := "type" IDENT "=" type ";"
+   fundef   := "fun" IDENT ("[" IDENT "]")? "(" params? ")" ("->" type)?
+               "{" stmt* ("return" IDENT ";")? "}"
+   type     := "uint" | "bool" | "()" | "ptr" "<" type ">"
+             | "(" type "," type ")" | IDENT
+   stmt     := "let" IDENT ("<-" | "->") expr ";"
+             | IDENT "<->" IDENT ";"  |  "*" IDENT "<->" IDENT ";"
+             | "if" expr blockish ("else" blockish)?
+             | "with" block "do" blockish
+             | "H" "(" IDENT ")" ";"  |  "skip" ";"
+   blockish := block | if-stmt | with-stmt
+
+Expressions have C-like precedence: ``||`` < ``&&`` < comparisons <
+``+ -`` < ``*`` < unary ``not``/``test`` < projection ``.1/.2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast import (
+    EBin,
+    EBool,
+    ECall,
+    EDefault,
+    EInt,
+    ENull,
+    EPair,
+    EProj,
+    EUn,
+    EUnit,
+    EVar,
+    FunDef,
+    Program,
+    SExpr,
+    SHadamard,
+    SIf,
+    SizeExpr,
+    SLet,
+    SMemSwap,
+    SSkip,
+    SStmt,
+    SSwapS,
+    SWith,
+    TypeDef,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+from ..types import BOOL, UINT, NamedT, PtrT, TupleT, Type, UnitT
+
+
+class Parser:
+    """Token-stream parser producing a :class:`~repro.lang.ast.Program`."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- plumbing
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(f"{message} (found {token.text!r})", token.line, token.column)
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(text):
+            raise self.error(f"expected {text!r}")
+        return self.next()
+
+    def expect_keyword(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(text):
+            raise self.error(f"expected keyword {text!r}")
+        return self.next()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self.error("expected identifier")
+        return self.next().text
+
+    def expect_int(self) -> int:
+        token = self.peek()
+        if token.kind is not TokenKind.INT:
+            raise self.error("expected integer")
+        return int(self.next().text)
+
+    def accept_punct(self, text: str) -> bool:
+        if self.peek().is_punct(text):
+            self.next()
+            return True
+        return False
+
+    def accept_keyword(self, text: str) -> bool:
+        if self.peek().is_keyword(text):
+            self.next()
+            return True
+        return False
+
+    # -------------------------------------------------------------- program
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek().kind is not TokenKind.EOF:
+            if self.peek().is_keyword("type"):
+                program.typedefs.append(self.parse_typedef())
+            elif self.peek().is_keyword("fun"):
+                program.fundefs.append(self.parse_fundef())
+            else:
+                raise self.error("expected 'type' or 'fun' at top level")
+        return program
+
+    def parse_typedef(self) -> TypeDef:
+        self.expect_keyword("type")
+        name = self.expect_ident()
+        self.expect_punct("=")
+        ty = self.parse_type()
+        self.expect_punct(";")
+        return TypeDef(name, ty)
+
+    def parse_type(self) -> Type:
+        token = self.peek()
+        if token.is_keyword("uint"):
+            self.next()
+            return UINT
+        if token.is_keyword("bool"):
+            self.next()
+            return BOOL
+        if token.is_keyword("ptr"):
+            self.next()
+            self.expect_punct("<")
+            elem = self.parse_type()
+            self.expect_punct(">")
+            return PtrT(elem)
+        if token.is_punct("("):
+            self.next()
+            if self.accept_punct(")"):
+                return UnitT()
+            first = self.parse_type()
+            self.expect_punct(",")
+            second = self.parse_type()
+            self.expect_punct(")")
+            return TupleT(first, second)
+        if token.kind is TokenKind.IDENT:
+            return NamedT(self.next().text)
+        raise self.error("expected a type")
+
+    def parse_fundef(self) -> FunDef:
+        self.expect_keyword("fun")
+        name = self.expect_ident()
+        size_param: Optional[str] = None
+        if self.accept_punct("["):
+            size_param = self.expect_ident()
+            self.expect_punct("]")
+        self.expect_punct("(")
+        params: List[Tuple[str, Type]] = []
+        if not self.peek().is_punct(")"):
+            while True:
+                pname = self.expect_ident()
+                self.expect_punct(":")
+                pty = self.parse_type()
+                params.append((pname, pty))
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return_type: Optional[Type] = None
+        if self.accept_punct("->"):
+            return_type = self.parse_type()
+        self.expect_punct("{")
+        body: List[SStmt] = []
+        return_var: Optional[str] = None
+        while not self.peek().is_punct("}"):
+            if self.peek().is_keyword("return"):
+                self.next()
+                return_var = self.expect_ident()
+                self.expect_punct(";")
+                break
+            body.append(self.parse_stmt())
+        self.expect_punct("}")
+        return FunDef(name, size_param, tuple(params), tuple(body), return_var, return_type)
+
+    # ------------------------------------------------------------ statements
+    def parse_block(self) -> Tuple[SStmt, ...]:
+        self.expect_punct("{")
+        stmts: List[SStmt] = []
+        while not self.peek().is_punct("}"):
+            stmts.append(self.parse_stmt())
+        self.expect_punct("}")
+        return tuple(stmts)
+
+    def parse_blockish(self) -> Tuple[SStmt, ...]:
+        """A brace block, or a bare if/with statement (Figure 1 style)."""
+        if self.peek().is_punct("{"):
+            return self.parse_block()
+        if self.peek().is_keyword("if") or self.peek().is_keyword("with"):
+            return (self.parse_stmt(),)
+        raise self.error("expected '{', 'if' or 'with'")
+
+    def parse_stmt(self) -> SStmt:
+        token = self.peek()
+        if token.is_keyword("skip"):
+            self.next()
+            self.expect_punct(";")
+            return SSkip()
+        if token.is_keyword("let"):
+            self.next()
+            name = self.expect_ident()
+            if self.accept_punct("<-"):
+                forward = True
+            elif self.accept_punct("->"):
+                forward = False
+            else:
+                raise self.error("expected '<-' or '->'")
+            expr = self.parse_expr()
+            self.expect_punct(";")
+            return SLet(name, expr, forward)
+        if token.is_keyword("if"):
+            self.next()
+            cond = self.parse_expr()
+            then = self.parse_blockish()
+            otherwise: Optional[Tuple[SStmt, ...]] = None
+            if self.accept_keyword("else"):
+                otherwise = self.parse_blockish()
+            return SIf(cond, then, otherwise)
+        if token.is_keyword("with"):
+            self.next()
+            setup = self.parse_block()
+            self.expect_keyword("do")
+            body = self.parse_blockish()
+            return SWith(setup, body)
+        if token.is_punct("*"):
+            self.next()
+            pointer = self.expect_ident()
+            self.expect_punct("<->")
+            value = self.expect_ident()
+            self.expect_punct(";")
+            return SMemSwap(pointer, value)
+        if token.kind is TokenKind.IDENT:
+            name = self.next().text
+            if name == "H" and self.peek().is_punct("("):
+                self.next()
+                target = self.expect_ident()
+                self.expect_punct(")")
+                self.expect_punct(";")
+                return SHadamard(target)
+            self.expect_punct("<->")
+            right = self.expect_ident()
+            self.expect_punct(";")
+            return SSwapS(name, right)
+        raise self.error("expected a statement")
+
+    # ----------------------------------------------------------- expressions
+    def parse_expr(self) -> SExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> SExpr:
+        expr = self.parse_and()
+        while self.peek().is_punct("||"):
+            self.next()
+            expr = EBin("||", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> SExpr:
+        expr = self.parse_cmp()
+        while self.peek().is_punct("&&"):
+            self.next()
+            expr = EBin("&&", expr, self.parse_cmp())
+        return expr
+
+    def parse_cmp(self) -> SExpr:
+        expr = self.parse_add()
+        for op in ("==", "!=", "<", ">"):
+            if self.peek().is_punct(op):
+                self.next()
+                return EBin(op, expr, self.parse_add())
+        return expr
+
+    def parse_add(self) -> SExpr:
+        expr = self.parse_mul()
+        while True:
+            if self.peek().is_punct("+"):
+                self.next()
+                expr = EBin("+", expr, self.parse_mul())
+            elif self.peek().is_punct("-"):
+                self.next()
+                expr = EBin("-", expr, self.parse_mul())
+            else:
+                return expr
+
+    def parse_mul(self) -> SExpr:
+        expr = self.parse_unary()
+        while self.peek().is_punct("*"):
+            self.next()
+            expr = EBin("*", expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> SExpr:
+        if self.peek().is_keyword("not"):
+            self.next()
+            return EUn("not", self.parse_unary())
+        if self.peek().is_keyword("test"):
+            self.next()
+            return EUn("test", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> SExpr:
+        expr = self.parse_primary()
+        while self.peek().is_punct("."):
+            self.next()
+            index = self.expect_int()
+            if index not in (1, 2):
+                raise self.error("projection index must be 1 or 2")
+            expr = EProj(expr, index)
+        return expr
+
+    def parse_primary(self) -> SExpr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            return EInt(self.expect_int())
+        if token.is_keyword("true"):
+            self.next()
+            return EBool(True)
+        if token.is_keyword("false"):
+            self.next()
+            return EBool(False)
+        if token.is_keyword("null"):
+            self.next()
+            return ENull()
+        if token.is_keyword("default"):
+            self.next()
+            self.expect_punct("<")
+            ty = self.parse_type()
+            self.expect_punct(">")
+            return EDefault(ty)
+        if token.is_punct("("):
+            self.next()
+            if self.accept_punct(")"):
+                return EUnit()
+            first = self.parse_expr()
+            if self.accept_punct(","):
+                second = self.parse_expr()
+                self.expect_punct(")")
+                return EPair(first, second)
+            self.expect_punct(")")
+            return first
+        if token.kind is TokenKind.IDENT:
+            name = self.next().text
+            size: Optional[SizeExpr] = None
+            if self.peek().is_punct("["):
+                self.next()
+                size = self.parse_size_expr()
+                self.expect_punct("]")
+                self.expect_punct("(")
+                return ECall(name, size, self.parse_args())
+            if self.peek().is_punct("("):
+                self.next()
+                return ECall(name, None, self.parse_args())
+            return EVar(name)
+        raise self.error("expected an expression")
+
+    def parse_size_expr(self) -> SizeExpr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            return SizeExpr(None, self.expect_int())
+        name = self.expect_ident()
+        offset = 0
+        if self.accept_punct("-"):
+            offset = self.expect_int()
+        return SizeExpr(name, offset)
+
+    def parse_args(self) -> Tuple[SExpr, ...]:
+        """Arguments after the opening parenthesis (consumes the ')')."""
+        args: List[SExpr] = []
+        if not self.peek().is_punct(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return tuple(args)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole Tower program."""
+    return Parser(source).parse_program()
+
+
+def parse_stmts(source: str) -> Tuple[SStmt, ...]:
+    """Parse a statement sequence (for tests and small examples)."""
+    parser = Parser(source)
+    stmts: List[SStmt] = []
+    while parser.peek().kind is not TokenKind.EOF:
+        stmts.append(parser.parse_stmt())
+    return tuple(stmts)

@@ -1,0 +1,34 @@
+"""Compatibility shim: the canonical types module lives at :mod:`repro.types`.
+
+Kept so that ``repro.lang.types`` remains a valid import path; the module was
+moved to the package root to break an import cycle (the IR needs types, and
+``repro.lang.__init__`` needs the IR via the desugarer).
+"""
+
+from ..types import (  # noqa: F401
+    BOOL,
+    UINT,
+    UNIT,
+    BoolT,
+    NamedT,
+    PtrT,
+    TupleT,
+    Type,
+    TypeTable,
+    UIntT,
+    UnitT,
+)
+
+__all__ = [
+    "BOOL",
+    "UINT",
+    "UNIT",
+    "BoolT",
+    "NamedT",
+    "PtrT",
+    "TupleT",
+    "Type",
+    "TypeTable",
+    "UIntT",
+    "UnitT",
+]

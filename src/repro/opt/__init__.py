@@ -1,0 +1,17 @@
+"""Program-level optimizations: conditional flattening and narrowing (Section 6)."""
+
+from .spire import (
+    OPTIMIZATIONS,
+    flatten_only,
+    identity,
+    narrow_only,
+    spire_optimize,
+)
+
+__all__ = [
+    "OPTIMIZATIONS",
+    "flatten_only",
+    "identity",
+    "narrow_only",
+    "spire_optimize",
+]

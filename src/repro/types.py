@@ -1,0 +1,188 @@
+"""Tower types (Figure 13) and their bit-level layout.
+
+``τ ::= () | uint | bool | (τ1, τ2) | ptr(τ)``
+
+plus named types (``type list = (uint, ptr<list>);``), which may be
+recursive through a pointer.  Pointers have a fixed width (``addr_width``),
+so every type has a finite bit width.
+
+Layout convention: a tuple ``(τ1, τ2)`` stores the ``τ1`` component in the
+low bits and the ``τ2`` component above it.  ``uint`` values are unsigned,
+little-endian within their register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .config import CompilerConfig
+from .errors import TypeCheckError
+
+
+class Type:
+    """Base class for Tower types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UnitT(Type):
+    """The unit type ``()``; zero bits wide."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class UIntT(Type):
+    """Fixed-width unsigned integers (width from the config)."""
+
+    def __str__(self) -> str:
+        return "uint"
+
+
+@dataclass(frozen=True)
+class BoolT(Type):
+    """Booleans; one bit wide."""
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class TupleT(Type):
+    """A pair ``(τ1, τ2)``."""
+
+    first: Type
+    second: Type
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class PtrT(Type):
+    """A pointer ``ptr<τ>``; width is the config's ``addr_width``."""
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"ptr<{self.elem}>"
+
+
+@dataclass(frozen=True)
+class NamedT(Type):
+    """A reference to a declared type name, resolved via a :class:`TypeTable`."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class TypeTable:
+    """Declared type names and layout queries.
+
+    Recursion is legal only through a pointer, which :meth:`width` detects by
+    refusing to expand a named type that is already on the expansion stack
+    outside a pointer.
+    """
+
+    def __init__(self, config: CompilerConfig) -> None:
+        self.config = config
+        self._decls: Dict[str, Type] = {}
+        self._width_cache: Dict[Type, int] = {}
+
+    def declare(self, name: str, ty: Type) -> None:
+        """Declare ``type name = ty``."""
+        if name in self._decls:
+            raise TypeCheckError(f"type {name!r} declared twice")
+        self._decls[name] = ty
+
+    def resolve(self, ty: Type) -> Type:
+        """Resolve one level of naming (``NamedT`` -> its declaration)."""
+        seen = set()
+        while isinstance(ty, NamedT):
+            if ty.name in seen:
+                raise TypeCheckError(f"type {ty.name!r} is defined as itself")
+            if ty.name not in self._decls:
+                raise TypeCheckError(f"unknown type {ty.name!r}")
+            seen.add(ty.name)
+            ty = self._decls[ty.name]
+        return ty
+
+    def width(self, ty: Type) -> int:
+        """Bit width of a type under this table's config."""
+        if ty in self._width_cache:
+            return self._width_cache[ty]
+        result = self._width(ty, stack=frozenset())
+        self._width_cache[ty] = result
+        return result
+
+    def _width(self, ty: Type, stack: frozenset) -> int:
+        if isinstance(ty, UnitT):
+            return 0
+        if isinstance(ty, UIntT):
+            return self.config.word_width
+        if isinstance(ty, BoolT):
+            return 1
+        if isinstance(ty, PtrT):
+            return self.config.addr_width
+        if isinstance(ty, TupleT):
+            return self._width(ty.first, stack) + self._width(ty.second, stack)
+        if isinstance(ty, NamedT):
+            if ty.name in stack:
+                raise TypeCheckError(
+                    f"type {ty.name!r} is recursive outside a pointer"
+                )
+            return self._width(self.resolve_one(ty.name), stack | {ty.name})
+        raise TypeCheckError(f"unknown type {ty}")  # pragma: no cover
+
+    def resolve_one(self, name: str) -> Type:
+        """The declaration of a single name."""
+        if name not in self._decls:
+            raise TypeCheckError(f"unknown type {name!r}")
+        return self._decls[name]
+
+    # ------------------------------------------------------- layout helpers
+    def tuple_layout(self, ty: Type) -> Tuple[int, int, Type, Type]:
+        """(offset1, offset2, τ1, τ2) of a tuple type's components."""
+        resolved = self.resolve(ty)
+        if not isinstance(resolved, TupleT):
+            raise TypeCheckError(f"{ty} is not a tuple type")
+        return 0, self.width(resolved.first), resolved.first, resolved.second
+
+    def equal(self, a: Type, b: Type) -> bool:
+        """Structural equality modulo names (cycle-safe through pointers)."""
+        return self._equal(a, b, frozenset())
+
+    def _equal(self, a: Type, b: Type, assumed: frozenset) -> bool:
+        if isinstance(a, NamedT) and isinstance(b, NamedT):
+            if a.name == b.name:
+                return True
+            pair = (a.name, b.name)
+            if pair in assumed:
+                return True
+            return self._equal(
+                self.resolve_one(a.name), self.resolve_one(b.name), assumed | {pair}
+            )
+        if isinstance(a, NamedT):
+            return self._equal(self.resolve_one(a.name), b, assumed)
+        if isinstance(b, NamedT):
+            return self._equal(a, self.resolve_one(b.name), assumed)
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, TupleT) and isinstance(b, TupleT):
+            return self._equal(a.first, b.first, assumed) and self._equal(
+                a.second, b.second, assumed
+            )
+        if isinstance(a, PtrT) and isinstance(b, PtrT):
+            return self._equal(a.elem, b.elem, assumed)
+        return True  # UnitT/UIntT/BoolT singletons
+
+
+UNIT = UnitT()
+UINT = UIntT()
+BOOL = BoolT()

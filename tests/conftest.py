@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import BenchmarkRunner
+from repro.config import CompilerConfig
+
+#: Small config used by most tests (fast circuits, simulable widths).
+TINY = CompilerConfig(word_width=3, addr_width=3, heap_cells=5)
+
+#: Config wide enough for the benchmark data structures.
+BENCH = CompilerConfig(word_width=4, addr_width=4, heap_cells=14)
+
+LENGTH_SRC = """
+type list = (uint, ptr<list>);
+fun length[n](xs: ptr<list>, acc: uint) -> uint {
+  with { let is_empty <- xs == null; } do
+  if is_empty { let out <- acc; }
+  else with {
+    let temp <- default<list>;
+    *xs <-> temp;
+    let next <- temp.2;
+    let r <- acc + 1;
+  } do { let out <- length[n-1](next, r); }
+  return out;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> CompilerConfig:
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CompilerConfig:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def length_source() -> str:
+    return LENGTH_SRC
+
+
+@pytest.fixture(scope="session")
+def tiny_runner() -> BenchmarkRunner:
+    return BenchmarkRunner(TINY)
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> BenchmarkRunner:
+    return BenchmarkRunner(BENCH)

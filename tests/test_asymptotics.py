@@ -1,0 +1,80 @@
+"""Tests for exact polynomial fitting (the Section 8.1 methodology)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cost.asymptotics import (
+    evaluate,
+    fit_degree,
+    fit_polynomial,
+    fit_report,
+    format_polynomial,
+    measure_scaling,
+)
+
+
+class TestFitting:
+    def test_constant(self):
+        coeffs = fit_polynomial([2, 3, 4, 5], [7, 7, 7, 7])
+        assert coeffs == [Fraction(7)]
+
+    def test_linear(self):
+        coeffs = fit_polynomial([2, 3, 4, 5], [5, 7, 9, 11])
+        assert coeffs == [Fraction(1), Fraction(2)]
+
+    def test_quadratic(self):
+        xs = list(range(2, 9))
+        ys = [3 * x * x + 2 * x + 1 for x in xs]
+        coeffs = fit_polynomial(xs, ys)
+        assert coeffs == [Fraction(1), Fraction(2), Fraction(3)]
+
+    def test_cubic_with_rational_coefficients(self):
+        xs = list(range(1, 8))
+        ys = [x * (x + 1) * (x + 2) // 2 for x in xs]
+        coeffs = fit_polynomial(xs, ys)
+        assert evaluate(coeffs, 10) == 10 * 11 * 12 // 2
+
+    def test_lowest_degree_is_chosen(self):
+        # points that a line fits exactly must not yield degree 3
+        assert fit_degree([1, 2, 3, 4], [2, 4, 6, 8]) == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2], [1])
+
+
+class TestFormatting:
+    def test_table1_style(self):
+        assert (
+            format_polynomial([Fraction(3934), Fraction(19292), Fraction(15722)])
+            == "15722n^2+19292n+3934"
+        )
+
+    def test_negative_constant(self):
+        assert format_polynomial([Fraction(-42), Fraction(12740)]) == "12740n-42"
+
+    def test_zero(self):
+        assert format_polynomial([Fraction(0)]) == "0"
+
+    def test_unit_coefficient(self):
+        assert format_polynomial([Fraction(0), Fraction(1)]) == "n"
+
+    def test_rational_coefficient(self):
+        text = format_polynomial([Fraction(0), Fraction(1, 3)])
+        assert "(1/3)" in text
+
+
+class TestReports:
+    def test_big_o_rendering(self):
+        assert fit_report([1, 2, 3], [5, 5, 5]).big_o == "O(1)"
+        assert fit_report([1, 2, 3], [1, 2, 3]).big_o == "O(n)"
+        assert fit_report([1, 2, 3, 4], [1, 4, 9, 16]).big_o == "O(n^2)"
+
+    def test_measure_scaling(self):
+        report = measure_scaling(lambda n: 2 * n + 1, [2, 3, 4, 5])
+        assert report.degree == 1
+        assert report.polynomial == "2n+1"
+
+    def test_str(self):
+        assert "O(n)" in str(fit_report([1, 2], [3, 6]))

@@ -1,0 +1,259 @@
+"""Benchmark-program correctness (interpreter + compiled circuit) and
+Table 1 asymptotics."""
+
+import pytest
+
+from repro.benchsuite import ENTRIES, SOURCES, BenchmarkRunner, HeapImage
+from repro.circuit import classical_sim
+from repro.config import CompilerConfig
+from repro.ir import run_program
+from repro.lang import lower_source
+
+CFG = CompilerConfig(word_width=4, addr_width=4, heap_cells=14)
+
+
+def run_interp(name, size, inputs, heap):
+    low = lower_source(SOURCES[name], ENTRIES[name], size=size, config=CFG)
+    machine = run_program(
+        low.stmt, low.table, inputs=inputs, input_types=low.param_types,
+        memory=heap.as_memory(),
+    )
+    dirty = {
+        k: v
+        for k, v in machine.registers.items()
+        if v and k not in inputs and k != low.return_var
+    }
+    assert not dirty, dirty
+    return machine.registers.get(low.return_var, 0), machine
+
+
+def run_circuit(name, size, inputs, heap, optimization="none"):
+    runner = BenchmarkRunner(CFG)
+    cp = runner.compile(name, size, optimization)
+    circuit_inputs = dict(inputs)
+    circuit_inputs.update(heap.as_registers())
+    out = classical_sim.run_on_registers(cp.circuit, circuit_inputs)
+    return out[cp.return_var], out
+
+
+class TestListOperations:
+    @pytest.mark.parametrize("values,expect", [([], 0), ([9], 1), ([7, 5, 3], 3)])
+    def test_length(self, values, expect):
+        heap = HeapImage(CFG)
+        head = heap.add_list(values)
+        got, _ = run_interp("length", 5, {"xs": head, "acc": 0}, heap)
+        assert got == expect
+
+    def test_length_depth_bound_semantics(self):
+        # Section 3.1: length[n] returns the length only if it is < n
+        heap = HeapImage(CFG)
+        head = heap.add_list([1, 2, 3])
+        got, _ = run_interp("length", 3, {"xs": head, "acc": 0}, heap)
+        assert got == 0
+
+    @pytest.mark.parametrize("values,expect", [([], 0), ([4, 9], 13), ([15, 1], 0)])
+    def test_sum_mod_wordsize(self, values, expect):
+        heap = HeapImage(CFG)
+        head = heap.add_list(values)
+        got, _ = run_interp("sum", 5, {"xs": head, "acc": 0}, heap)
+        assert got == expect
+
+    @pytest.mark.parametrize("v,expect", [(7, 1), (5, 2), (3, 3), (9, 0)])
+    def test_find_pos(self, v, expect):
+        heap = HeapImage(CFG)
+        head = heap.add_list([7, 5, 3])
+        got, _ = run_interp("find_pos", 5, {"xs": head, "v": v, "idx": 1}, heap)
+        assert got == expect
+
+    def test_remove_erases_first_match_only(self):
+        heap = HeapImage(CFG)
+        head = heap.add_list([7, 5, 5])
+        got, machine = run_interp("remove", 5, {"xs": head, "v": 5, "idx": 1}, heap)
+        assert got == 2
+        assert machine.memory[2] & 0xF == 0  # erased
+        assert machine.memory[3] & 0xF == 5  # second match untouched
+
+    def test_remove_missing_value(self):
+        heap = HeapImage(CFG)
+        head = heap.add_list([7, 5, 3])
+        got, machine = run_interp("remove", 5, {"xs": head, "v": 9, "idx": 1}, heap)
+        assert got == 0
+        assert machine.memory == heap.as_memory()
+
+    def test_pop_front(self):
+        heap = HeapImage(CFG)
+        head = heap.add_list([7, 5])
+        got, machine = run_interp("pop_front", None, {"xs": head}, heap)
+        assert got == 7 | (2 << 4)
+        assert machine.memory[1] == 0
+
+    def test_push_back_appends(self):
+        heap = HeapImage(CFG)
+        head = heap.add_list([7, 5])
+        free = heap.alloc()
+        got, machine = run_interp(
+            "push_back", 5, {"xs": head, "v": 9, "node": free}, heap
+        )
+        assert got == 1
+        assert machine.memory[free] == 9
+        assert machine.memory[2] >> 4 == free
+
+    def test_push_back_null_list(self):
+        heap = HeapImage(CFG)
+        free = heap.alloc()
+        got, _ = run_interp("push_back", 3, {"xs": 0, "v": 9, "node": free}, heap)
+        assert got == 0
+
+
+class TestStringOperations:
+    @pytest.mark.parametrize(
+        "a,b,expect",
+        [([], [1, 2], 1), ([1], [1, 2], 1), ([1, 2], [1, 2], 1), ([2], [1, 2], 0), ([1, 2, 3], [1, 2], 0)],
+    )
+    def test_is_prefix(self, a, b, expect):
+        heap = HeapImage(CFG)
+        pa, pb = heap.add_string(a), heap.add_string(b)
+        got, _ = run_interp("is_prefix", 5, {"a": pa, "b": pb}, heap)
+        assert got == expect
+
+    @pytest.mark.parametrize(
+        "a,b,expect",
+        [([1, 2, 3], [1, 9, 3], 2), ([], [1], 0), ([4], [4], 1)],
+    )
+    def test_num_matching(self, a, b, expect):
+        heap = HeapImage(CFG)
+        pa, pb = heap.add_string(a), heap.add_string(b)
+        got, _ = run_interp("num_matching", 5, {"a": pa, "b": pb, "acc": 0}, heap)
+        assert got == expect
+
+    @pytest.mark.parametrize(
+        "a,b,expect",
+        [
+            ([1, 2], [1, 2], 0),
+            ([1, 2], [1, 3], 1),
+            ([1, 4], [1, 3], 2),
+            ([1], [1, 3], 1),
+            ([1, 3], [1], 2),
+            ([], [], 0),
+        ],
+    )
+    def test_compare(self, a, b, expect):
+        heap = HeapImage(CFG)
+        pa, pb = heap.add_string(a), heap.add_string(b)
+        got, _ = run_interp("compare", 4, {"a": pa, "b": pb}, heap)
+        assert got == expect
+
+
+class TestSetOperations:
+    def make_tree(self, heap):
+        # keys: [5] at root, [3] left, [7] right (left keys compare-less)
+        return heap.add_tree(([5], ([3], None, None), ([7], None, None)))
+
+    @pytest.mark.parametrize("key,expect", [([5], 1), ([3], 1), ([7], 1), ([4], 0)])
+    def test_contains(self, key, expect):
+        heap = HeapImage(CFG)
+        root = self.make_tree(heap)
+        kp = heap.add_string(key)
+        got, _ = run_interp("contains", 3, {"t": root, "key": kp}, heap)
+        assert got == expect
+
+    def test_insert_links_new_leaf(self):
+        heap = HeapImage(CFG)
+        root = self.make_tree(heap)
+        kp = heap.add_string([4])
+        fresh = heap.alloc()
+        heap.write(fresh, heap.encode_tree_node(kp, 0, 0))
+        got, machine = run_interp(
+            "insert", 3, {"t": root, "key": kp, "fresh": fresh}, heap
+        )
+        assert got == 1
+        # re-run contains on the mutated heap
+        heap2 = HeapImage(CFG)
+        heap2.cells = {a: v for a, v in enumerate(machine.memory) if a and v}
+        heap2._next = heap._next
+        kp2 = heap2.add_string([4])
+        got2, _ = run_interp("contains", 4, {"t": root, "key": kp2}, heap2)
+        assert got2 == 1
+
+    def test_insert_duplicate_is_noop(self):
+        heap = HeapImage(CFG)
+        root = self.make_tree(heap)
+        kp = heap.add_string([3])
+        fresh = heap.alloc()
+        heap.write(fresh, heap.encode_tree_node(kp, 0, 0))
+        got, machine = run_interp(
+            "insert", 3, {"t": root, "key": kp, "fresh": fresh}, heap
+        )
+        assert got == 0
+        assert machine.memory == heap.as_memory()
+
+
+class TestCircuitDifferential:
+    """Compiled circuits agree with the interpreter, all optimization modes."""
+
+    @pytest.mark.parametrize("optimization", ["none", "spire"])
+    @pytest.mark.parametrize(
+        "name,inputs_builder",
+        [
+            ("length", lambda h: {"xs": h.add_list([7, 5, 3]), "acc": 0}),
+            ("sum", lambda h: {"xs": h.add_list([4, 9]), "acc": 0}),
+            ("find_pos", lambda h: {"xs": h.add_list([7, 5, 3]), "v": 5, "idx": 1}),
+            ("remove", lambda h: {"xs": h.add_list([7, 5, 3]), "v": 5, "idx": 1}),
+            ("pop_front", lambda h: {"xs": h.add_list([7, 5])}),
+        ],
+    )
+    def test_list_benchmarks(self, name, inputs_builder, optimization):
+        heap = HeapImage(CFG)
+        inputs = inputs_builder(heap)
+        size = None if name == "pop_front" else 4
+        expected, machine = run_interp(name, size, dict(inputs), heap)
+        got, out = run_circuit(name, size, inputs, heap, optimization)
+        assert got == expected
+        for addr in range(1, CFG.heap_cells + 1):
+            assert out[f"mem[{addr}]"] == machine.memory[addr], addr
+
+    @pytest.mark.parametrize("optimization", ["none", "spire"])
+    def test_compare_circuit(self, optimization):
+        heap = HeapImage(CFG)
+        pa, pb = heap.add_string([1, 4]), heap.add_string([1, 3])
+        expected, _ = run_interp("compare", 3, {"a": pa, "b": pb}, heap)
+        got, _ = run_circuit("compare", 3, {"a": pa, "b": pb}, heap, optimization)
+        assert got == expected == 2
+
+
+class TestAsymptotics:
+    """Table 1: degrees of the fitted complexity polynomials."""
+
+    DEPTHS = [2, 3, 4, 5]
+
+    @pytest.mark.parametrize(
+        "name", ["length", "length-simplified", "sum", "find_pos", "remove", "push_back"]
+    )
+    def test_linear_benchmarks(self, tiny_runner, name):
+        mcx = tiny_runner.scaling(name, self.DEPTHS, "none", "mcx")
+        t_before = tiny_runner.scaling(name, self.DEPTHS, "none", "t")
+        t_after = tiny_runner.scaling(name, self.DEPTHS, "spire", "t")
+        assert mcx.fit.degree == 1, name
+        assert t_before.fit.degree == 2, name
+        assert t_after.fit.degree == 1, name
+
+    @pytest.mark.parametrize("name", ["is_prefix", "num_matching", "compare"])
+    def test_string_benchmarks(self, tiny_runner, name):
+        assert tiny_runner.scaling(name, self.DEPTHS, "none", "mcx").fit.degree == 1
+        assert tiny_runner.scaling(name, self.DEPTHS, "none", "t").fit.degree == 2
+        assert tiny_runner.scaling(name, self.DEPTHS, "spire", "t").fit.degree == 1
+
+    def test_pop_front_is_constant(self, tiny_runner):
+        a = tiny_runner.measure("pop_front", None, "none")
+        b = tiny_runner.measure("pop_front", None, "spire")
+        assert a.t == b.t  # no control flow: nothing for Spire to do
+
+    @pytest.mark.parametrize("name", ["contains"])
+    def test_tree_benchmarks(self, tiny_runner, name):
+        # four depths: enough to refute a quadratic fit for the unoptimized
+        # program and to verify the quadratic fit after Spire; the benches
+        # extend this to 2..8 (Table 1 uses 2..10).
+        depths = [2, 3, 4, 5]
+        assert tiny_runner.scaling(name, depths, "none", "mcx").fit.degree == 2
+        assert tiny_runner.scaling(name, depths, "none", "t").fit.degree == 3
+        assert tiny_runner.scaling(name, depths, "spire", "t").fit.degree == 2

@@ -1,0 +1,217 @@
+"""Tests for surface-to-core lowering and call inlining."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.errors import InlineError, TypeCheckError
+from repro.ir import Assign, If, Stmt, UnAssign, With, check_program, run_program
+from repro.lang import lower_source
+
+CFG = CompilerConfig(word_width=4, addr_width=3, heap_cells=5)
+
+
+def lower(src, entry="main", size=None):
+    low = lower_source(src, entry, size=size, config=CFG)
+    check_program(low.stmt, low.table, low.param_types)
+    return low
+
+
+def run(src, entry="main", size=None, inputs=None):
+    low = lower_source(src, entry, size=size, config=CFG)
+    m = run_program(low.stmt, low.table, inputs=inputs or {}, input_types=low.param_types)
+    return m.registers.get(low.return_var), m
+
+
+class TestExpressions:
+    def test_nested_expression_introduces_with(self):
+        low = lower("fun main(a: bool, b: bool, c: bool) -> bool { let s <- a && b && c; return s; }")
+        assert isinstance(low.stmt, With)
+
+    def test_nested_expression_value(self):
+        got, m = run(
+            "fun main() -> uint { let a <- 2; let b <- 3; let s <- a + b * b; return s; }"
+        )
+        assert got == (2 + 9) % 16
+        assert m.registers["%t1"] == 0  # temp uncomputed
+
+    def test_constant_folding_if(self):
+        low = lower("fun main() -> uint { if true { let s <- 1; } else { let s <- 2; } return s; }")
+        got, _ = run("fun main() -> uint { if true { let s <- 1; } else { let s <- 2; } return s; }")
+        assert got == 1
+
+    def test_null_inference_via_comparison(self):
+        src = """
+        type list = (uint, ptr<list>);
+        fun main(p: ptr<list>) -> bool { let e <- p == null; return e; }
+        """
+        got, _ = run(src, inputs={"p": 0})
+        assert got == 1
+
+    def test_bare_null_rejected(self):
+        with pytest.raises(TypeCheckError):
+            lower("fun main() -> uint { let x <- null; return x; }")
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(TypeCheckError):
+            lower("fun main() -> uint { let x <- y; return x; }")
+
+
+class TestIfDesugaring:
+    def test_if_else_produces_two_guarded_ifs(self):
+        low = lower(
+            "fun main(c: bool) -> uint { if c { let x <- 1; } else { let x <- 2; } return x; }"
+        )
+        ifs = [s for s in low.stmt.walk() if isinstance(s, If)]
+        assert len(ifs) == 2
+
+    def test_if_else_semantics(self):
+        src = "fun main(c: bool) -> uint { if c { let x <- 1; } else { let x <- 2; } return x; }"
+        assert run(src, inputs={"c": 1})[0] == 1
+        assert run(src, inputs={"c": 0})[0] == 2
+
+    def test_if_on_expression_condition(self):
+        src = "fun main(a: uint) -> bool { if a == 3 { let x <- true; } return x; }"
+        assert run(src, inputs={"a": 3})[0] == 1
+        # untaken branch: the register was never written (reads as zero)
+        assert (run(src, inputs={"a": 2})[0] or 0) == 0
+
+
+class TestInlining:
+    def test_helper_function_inlined(self):
+        src = """
+        fun double(a: uint) -> uint { let r <- a + a; return r; }
+        fun main(x: uint) -> uint { let y <- double(x); return y; }
+        """
+        assert run(src, inputs={"x": 5})[0] == 10
+
+    def test_recursion_bound_zero_yields_zero(self):
+        src = """
+        fun count[n](x: uint) -> uint {
+          let one <- 1;
+          with { let next <- x + one; } do { let r <- count[n-1](next); }
+          let out <- r;
+          return out;
+        }
+        fun main(x: uint) -> uint { let y <- count[0](x); return y; }
+        """
+        # count[0] is the zero function
+        assert run(src, inputs={"x": 7})[0] == 0
+
+    def test_bounded_recursion_unrolls(self):
+        src = """
+        fun sum_to[n](k: uint, acc: uint) -> uint {
+          with { let done <- k == 0; } do
+          if done { let out <- acc; }
+          else with {
+            let k2 <- k - 1;
+            let acc2 <- acc + k;
+          } do { let out <- sum_to[n-1](k2, acc2); }
+          return out;
+        }
+        fun main(k: uint) -> uint { let y <- sum_to[5](k, 0); return y; }
+        """
+        assert run(src, inputs={"k": 4})[0] == 10
+
+    def test_unbounded_recursion_rejected(self):
+        src = """
+        fun loop(x: uint) -> uint { let y <- loop(x); return y; }
+        fun main(x: uint) -> uint { let y <- loop(x); return y; }
+        """
+        with pytest.raises(InlineError):
+            lower(src)
+
+    def test_missing_return_type_for_recursive_rejected(self):
+        src = """
+        fun f[n](x: uint) { let y <- f[n-1](x); return y; }
+        fun main(x: uint) -> uint { let y <- f[2](x); return y; }
+        """
+        with pytest.raises(InlineError):
+            lower(src)
+
+    def test_arity_mismatch_rejected(self):
+        src = """
+        fun g(a: uint, b: uint) -> uint { let r <- a + b; return r; }
+        fun main(x: uint) -> uint { let y <- g(x); return y; }
+        """
+        with pytest.raises(InlineError):
+            lower(src)
+
+    def test_argument_type_mismatch_rejected(self):
+        src = """
+        fun g(a: bool) -> bool { let r <- not a; return r; }
+        fun main(x: uint) -> bool { let y <- g(x); return y; }
+        """
+        with pytest.raises(TypeCheckError):
+            lower(src)
+
+    def test_literal_argument_materialized(self):
+        src = """
+        fun inc(a: uint) -> uint { let r <- a + 1; return r; }
+        fun main() -> uint { let y <- inc(4); return y; }
+        """
+        assert run(src)[0] == 5
+
+    def test_returning_a_parameter_copies(self):
+        src = """
+        fun id(a: uint) -> uint { return a; }
+        fun main(x: uint) -> uint { let y <- id(x); return y; }
+        """
+        assert run(src, inputs={"x": 9})[0] == 9
+
+    def test_uncall_reverses_inlined_body(self):
+        src = """
+        fun inc(a: uint) -> uint { let r <- a + 1; return r; }
+        fun main(x: uint) -> uint {
+          let y <- inc(x);
+          let z <- y;
+          let y -> inc(x);
+          return z;
+        }
+        """
+        got, m = run(src, inputs={"x": 3})
+        assert got == 4
+        # y's register was uncomputed by the un-call
+        assert all(
+            value == 0
+            for name, value in m.registers.items()
+            if name not in ("x", "z")
+        )
+
+    def test_alpha_renaming_keeps_instances_separate(self):
+        src = """
+        fun mk(a: uint) -> uint { let local <- a + 1; return local; }
+        fun main(x: uint) -> uint {
+          let p <- mk(x);
+          let q <- mk(p);
+          let r <- p + q;
+          return r;
+        }
+        """
+        assert run(src, inputs={"x": 1})[0] == 5  # 2 + 3
+
+    def test_size_arithmetic_through_calls(self):
+        src = """
+        fun depth[n]() -> uint {
+          with { let one <- 1; } do { let sub <- depth[n-2](); }
+          let out <- sub + 1;
+          return out;
+        }
+        fun main() -> uint { let y <- depth[5](); return y; }
+        """
+        # n=5 -> 3 -> 1 -> (-1 <= 0: zero): 3 levels
+        assert run(src)[0] == 3
+
+
+class TestEntryValidation:
+    def test_entry_requires_size_when_annotated(self, length_source):
+        with pytest.raises(InlineError):
+            lower_source(length_source, "length", size=None, config=CFG)
+
+    def test_entry_size_must_be_positive(self, length_source):
+        with pytest.raises(InlineError):
+            lower_source(length_source, "length", size=0, config=CFG)
+
+    def test_params_become_inputs(self, length_source):
+        low = lower_source(length_source, "length", size=2, config=CFG)
+        assert list(low.param_types) == ["xs", "acc"]
+        assert low.return_var == "out"

@@ -1,0 +1,48 @@
+"""The example scripts must run end-to-end and print sensible results."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, name],
+        cwd=EXAMPLES,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "unoptimized:" in out
+    assert "with Spire" in out
+    assert out.count("has length 3") == 2
+
+
+def test_cost_analysis():
+    out = run_example("cost_analysis.py")
+    assert "[O(n)]" in out
+    assert "[O(n^2)]" in out
+    assert "T after Spire" in out
+
+
+def test_optimizer_comparison():
+    out = run_example("optimizer_comparison.py")
+    assert "Spire (program-level)" in out
+    assert "toffoli-cancel" in out
+    assert "zx-like" in out
+
+
+def test_quantum_data_structures():
+    out = run_example("quantum_data_structures.py")
+    assert "length=3, sum=15, find_pos(5)=2" in out
+    assert "set.contains([4]) after insert = True" in out

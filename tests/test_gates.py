@@ -1,0 +1,116 @@
+"""Tests for gate objects and T-cost accounting."""
+
+import pytest
+
+from repro.circuit import (
+    Gate,
+    GateKind,
+    cnot,
+    h,
+    mcx,
+    s,
+    sdg,
+    swap,
+    t,
+    t_cost_of_controlled_h,
+    t_cost_of_mcx,
+    tdg,
+    toffoli,
+    toffoli_count_for_mcx,
+    x,
+    z,
+)
+
+
+class TestConstruction:
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            cnot(1, 1)
+        with pytest.raises(ValueError):
+            mcx([0, 1], 1)
+
+    def test_swap_needs_two_targets(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.SWAP, (), (1,))
+
+    def test_single_target_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.H, (), (1, 2))
+
+    def test_with_extra_controls(self):
+        gate = cnot(0, 1).with_extra_controls([2, 3])
+        assert gate.controls == (2, 3, 0)
+        assert gate.target == 1
+
+    def test_with_no_extra_controls_is_same(self):
+        gate = cnot(0, 1)
+        assert gate.with_extra_controls([]) is gate
+
+
+class TestInverse:
+    def test_t_inverse(self):
+        assert t(0).inverse() == tdg(0)
+        assert tdg(0).inverse() == t(0)
+        assert s(0).inverse() == sdg(0)
+
+    def test_self_inverse(self):
+        for gate in [x(0), cnot(0, 1), toffoli(0, 1, 2), h(0), z(0), swap(0, 1)]:
+            assert gate.inverse() == gate
+            assert gate.is_self_inverse() or gate.kind is GateKind.MCX or True
+
+
+class TestTCosts:
+    def test_toffoli_ladder_counts(self):
+        # Figure 5: 2(c-2)+1 Toffolis
+        assert toffoli_count_for_mcx(0) == 0
+        assert toffoli_count_for_mcx(1) == 0
+        assert toffoli_count_for_mcx(2) == 1
+        assert toffoli_count_for_mcx(3) == 3
+        assert toffoli_count_for_mcx(5) == 7
+
+    def test_t_cost_seven_per_toffoli(self):
+        # Figure 6: 7 T per Toffoli; Section 3.3: MCX with 3 controls = 21
+        assert t_cost_of_mcx(2) == 7
+        assert t_cost_of_mcx(3) == 21
+
+    def test_clifford_gates_are_free(self):
+        assert x(0).t_cost() == 0
+        assert cnot(0, 1).t_cost() == 0
+        assert h(0).t_cost() == 0
+        assert z(0).t_cost() == 0
+
+    def test_t_gates_cost_one(self):
+        assert t(0).t_cost() == 1
+        assert tdg(0).t_cost() == 1  # footnote 3: T† has T-complexity 1
+
+    def test_incremental_control_cost_is_14(self):
+        # Section 5: c_T_ctrl = 2 x 7 = 14 per control beyond the second
+        for c in range(2, 8):
+            assert t_cost_of_mcx(c + 1) - t_cost_of_mcx(c) == 14
+
+    def test_controlled_h_cost(self):
+        assert t_cost_of_controlled_h(0) == 0
+        assert t_cost_of_controlled_h(1) == 2 + t_cost_of_mcx(1)
+        assert t_cost_of_controlled_h(2) == 2 + t_cost_of_mcx(2)
+
+    def test_controlled_t_rejected(self):
+        gate = Gate(GateKind.T, (1,), (0,))
+        with pytest.raises(ValueError):
+            gate.t_cost()
+
+
+class TestCliffordTMembership:
+    def test_members(self):
+        for gate in [x(0), cnot(0, 1), h(0), t(0), tdg(0), s(0), sdg(0), z(0)]:
+            assert gate.is_clifford_t()
+
+    def test_non_members(self):
+        assert not toffoli(0, 1, 2).is_clifford_t()
+        assert not mcx([0, 1, 2], 3).is_clifford_t()
+        assert not h(0, controls=[1]).is_clifford_t()
+
+
+def test_str_rendering():
+    assert str(toffoli(0, 1, 2)) == "Toffoli[0,1](2)"
+    assert str(x(3)) == "X(3)"
+    assert str(tdg(1)) == "T†(1)"

@@ -1,0 +1,185 @@
+"""Tests for the core IR reference interpreter."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.errors import SimulationError
+from repro.ir import (
+    Assign,
+    AtomE,
+    BinOp,
+    BoolV,
+    Hadamard,
+    If,
+    Lit,
+    MemSwap,
+    Pair,
+    Proj,
+    PtrV,
+    Swap,
+    UIntV,
+    UnAssign,
+    UnOp,
+    Var,
+    With,
+    run_program,
+    seq,
+)
+from repro.types import UINT, NamedT, PtrT, TupleT, TypeTable
+
+
+@pytest.fixture
+def table():
+    t = TypeTable(CompilerConfig(word_width=4, addr_width=3, heap_cells=5))
+    t.declare("list", TupleT(UINT, PtrT(NamedT("list"))))
+    return t
+
+
+def lit(n):
+    return AtomE(Lit(UIntV(n)))
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 9, 9, 2),  # mod 16
+            ("-", 3, 5, 14),
+            ("*", 5, 3, 15),
+            ("*", 5, 7, 3),  # mod 16
+            ("==", 4, 4, 1),
+            ("!=", 4, 4, 0),
+            ("<", 3, 9, 1),
+            (">", 3, 9, 0),
+        ],
+    )
+    def test_binops(self, table, op, a, b, expected):
+        s = seq(
+            Assign("a", lit(a)),
+            Assign("b", lit(b)),
+            Assign("r", BinOp(op, Var("a"), Var("b"))),
+        )
+        m = run_program(s, table)
+        assert m.registers["r"] == expected
+
+    def test_logic_ops(self, table):
+        s = seq(
+            Assign("t", AtomE(Lit(BoolV(True)))),
+            Assign("f", AtomE(Lit(BoolV(False)))),
+            Assign("a", BinOp("&&", Var("t"), Var("f"))),
+            Assign("o", BinOp("||", Var("t"), Var("f"))),
+            Assign("n", UnOp("not", Var("f"))),
+        )
+        m = run_program(s, table)
+        assert (m.registers["a"], m.registers["o"], m.registers["n"]) == (0, 1, 1)
+
+    def test_test_op(self, table):
+        s = seq(
+            Assign("z", lit(0)),
+            Assign("x", lit(7)),
+            Assign("a", UnOp("test", Var("z"))),
+            Assign("b", UnOp("test", Var("x"))),
+        )
+        m = run_program(s, table)
+        assert (m.registers["a"], m.registers["b"]) == (0, 1)
+
+    def test_pair_and_projections(self, table):
+        s = seq(
+            Assign("t", Pair(Lit(UIntV(5)), Lit(UIntV(9)))),
+            Assign("a", Proj(1, Var("t"))),
+            Assign("b", Proj(2, Var("t"))),
+        )
+        m = run_program(s, table)
+        assert m.registers["t"] == 5 | (9 << 4)
+        assert (m.registers["a"], m.registers["b"]) == (5, 9)
+
+
+class TestStatements:
+    def test_redeclaration_xors(self, table):
+        s = seq(Assign("x", lit(5)), Assign("x", lit(3)))
+        m = run_program(s, table)
+        assert m.registers["x"] == 5 ^ 3
+
+    def test_unassign_zeroes(self, table):
+        s = seq(Assign("x", lit(5)), UnAssign("x", lit(5)))
+        m = run_program(s, table)
+        assert m.registers["x"] == 0
+
+    def test_swap(self, table):
+        s = seq(Assign("a", lit(1)), Assign("b", lit(2)), Swap("a", "b"))
+        m = run_program(s, table)
+        assert (m.registers["a"], m.registers["b"]) == (2, 1)
+
+    def test_if_taken_and_untaken(self, table):
+        s = seq(
+            Assign("c", AtomE(Lit(BoolV(True)))),
+            Assign("d", AtomE(Lit(BoolV(False)))),
+            Assign("x", lit(0)),
+            If("c", Assign("x", lit(1))),
+            If("d", Assign("x", lit(2))),
+        )
+        m = run_program(s, table)
+        assert m.registers["x"] == 1
+
+    def test_with_uncomputes_setup(self, table):
+        s = With(Assign("t", lit(3)), Assign("y", AtomE(Var("t"))))
+        m = run_program(s, table)
+        assert m.registers["t"] == 0
+        assert m.registers["y"] == 3
+
+    def test_hadamard_has_no_classical_semantics(self, table):
+        s = seq(Assign("b", AtomE(Lit(BoolV(False)))), Hadamard("b"))
+        with pytest.raises(SimulationError):
+            run_program(s, table)
+
+
+class TestMemory:
+    def test_memswap_exchanges(self, table):
+        s = seq(
+            Assign("p", AtomE(Lit(PtrV(2, NamedT("list"))))),
+            Assign("v", Pair(Lit(UIntV(7)), Lit(PtrV(0, NamedT("list"))))),
+            MemSwap("p", "v"),
+        )
+        mem = [0] * 6
+        mem[2] = 5 | (3 << 4)
+        m = run_program(s, table, memory=mem)
+        assert m.registers["v"] == 5 | (3 << 4)
+        assert m.memory[2] == 7
+
+    def test_null_dereference_is_noop(self, table):
+        s = seq(
+            Assign("p", AtomE(Lit(PtrV(0, NamedT("list"))))),
+            Assign("v", Pair(Lit(UIntV(7)), Lit(PtrV(0, NamedT("list"))))),
+            MemSwap("p", "v"),
+        )
+        m = run_program(s, table)
+        assert m.registers["v"] == 7
+        assert all(cell == 0 for cell in m.memory)
+
+    def test_out_of_range_address_rejected(self, table):
+        s = seq(
+            Assign("p", AtomE(Lit(PtrV(7, NamedT("list"))))),
+            Assign("v", Pair(Lit(UIntV(1)), Lit(PtrV(0, NamedT("list"))))),
+            MemSwap("p", "v"),
+        )
+        with pytest.raises(SimulationError):
+            run_program(s, table)
+
+    def test_bad_memory_size_rejected(self, table):
+        with pytest.raises(SimulationError):
+            run_program(Assign("x", lit(0)), table, memory=[0, 0])
+
+
+class TestReversibility:
+    def test_program_followed_by_reverse_is_identity(self, table):
+        from repro.ir import reverse
+
+        body = seq(
+            Assign("a", lit(3)),
+            Assign("b", BinOp("+", Var("a"), Lit(UIntV(4)))),
+            Swap("a", "b"),
+            If_cond := Assign("c", BinOp("<", Var("a"), Var("b"))),
+        )
+        program = seq(body, reverse(body))
+        m = run_program(program, table)
+        assert all(v == 0 for v in m.registers.values())

@@ -1,0 +1,160 @@
+"""Unit tests for the core IR (values, statements, helpers)."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.errors import TypeCheckError
+from repro.ir import (
+    Assign,
+    AtomE,
+    BinOp,
+    BoolV,
+    Hadamard,
+    If,
+    Lit,
+    MemSwap,
+    Pair,
+    Proj,
+    PtrV,
+    Seq,
+    Skip,
+    Swap,
+    TupleV,
+    UIntV,
+    UnAssign,
+    UnitV,
+    UnOp,
+    Var,
+    encode_value,
+    free_vars,
+    mod_set,
+    seq,
+    seq_list,
+    zero_value,
+)
+from repro.types import BOOL, UINT, NamedT, PtrT, TupleT, TypeTable
+
+
+@pytest.fixture
+def table():
+    t = TypeTable(CompilerConfig(word_width=4, addr_width=3, heap_cells=5))
+    t.declare("list", TupleT(UINT, PtrT(NamedT("list"))))
+    return t
+
+
+class TestValues:
+    def test_uint_encoding(self, table):
+        assert encode_value(UIntV(9), table) == 9
+
+    def test_uint_too_wide_rejected(self, table):
+        with pytest.raises(TypeCheckError):
+            encode_value(UIntV(16), table)
+
+    def test_negative_uint_rejected(self):
+        with pytest.raises(TypeCheckError):
+            UIntV(-1)
+
+    def test_bool_encoding(self, table):
+        assert encode_value(BoolV(True), table) == 1
+        assert encode_value(BoolV(False), table) == 0
+
+    def test_null_encoding(self, table):
+        assert encode_value(PtrV(0, UINT), table) == 0
+
+    def test_tuple_encoding_low_bits_first(self, table):
+        value = TupleV(UIntV(5), PtrV(3, NamedT("list")))
+        assert encode_value(value, table) == 5 | (3 << 4)
+
+    def test_unit_encoding(self, table):
+        assert encode_value(UnitV(), table) == 0
+
+    def test_zero_value_of_named_type(self, table):
+        zero = zero_value(NamedT("list"), table)
+        assert encode_value(zero, table) == 0
+
+    def test_types_of_values(self):
+        assert UIntV(1).type_of() == UINT
+        assert BoolV(True).type_of() == BOOL
+        assert PtrV(2, UINT).type_of() == PtrT(UINT)
+
+
+class TestSeqHelpers:
+    def test_seq_flattens(self):
+        s = seq(Skip(), seq(Hadamard("a"), Hadamard("b")), Skip())
+        assert isinstance(s, Seq)
+        assert len(s.stmts) == 2
+
+    def test_seq_of_nothing_is_skip(self):
+        assert seq() == Skip()
+        assert seq(Skip(), Skip()) == Skip()
+
+    def test_seq_single_collapses(self):
+        assert seq(Hadamard("a")) == Hadamard("a")
+
+    def test_seq_list_views(self):
+        assert seq_list(Skip()) == ()
+        assert seq_list(Hadamard("a")) == (Hadamard("a"),)
+        assert len(seq_list(seq(Hadamard("a"), Hadamard("b")))) == 2
+
+
+class TestModSet:
+    def test_assign(self):
+        assert mod_set(Assign("x", AtomE(Lit(UIntV(1))))) == {"x"}
+
+    def test_unassign(self):
+        assert mod_set(UnAssign("x", AtomE(Var("y")))) == {"x"}
+
+    def test_swap_modifies_both(self):
+        assert mod_set(Swap("a", "b")) == {"a", "b"}
+
+    def test_memswap_modifies_value_only(self):
+        assert mod_set(MemSwap("p", "v")) == {"v"}
+
+    def test_if_transparent(self):
+        assert mod_set(If("c", Hadamard("x"))) == {"x"}
+
+    def test_with_unions(self):
+        from repro.ir import With
+
+        s = With(Assign("a", AtomE(Lit(UIntV(0)))), Hadamard("b"))
+        assert mod_set(s) == {"a", "b"}
+
+
+class TestFreeVars:
+    def test_collects_operands_and_targets(self):
+        s = Assign("x", BinOp("+", Var("y"), Var("z")))
+        assert free_vars(s) == {"x", "y", "z"}
+
+    def test_if_condition_included(self):
+        assert "c" in free_vars(If("c", Skip()))
+
+    def test_literals_contribute_nothing(self):
+        assert free_vars(Assign("x", AtomE(Lit(UIntV(3))))) == {"x"}
+
+
+class TestValidation:
+    def test_bad_unop_rejected(self):
+        with pytest.raises(TypeCheckError):
+            UnOp("neg", Var("x"))
+
+    def test_bad_binop_rejected(self):
+        with pytest.raises(TypeCheckError):
+            BinOp("^", Var("x"), Var("y"))
+
+    def test_bad_projection_index(self):
+        with pytest.raises(TypeCheckError):
+            Proj(3, Var("x"))
+
+    def test_walk_traverses_nested(self):
+        s = If("c", seq(Skip(), If("d", Hadamard("x"))))
+        kinds = [type(node).__name__ for node in s.walk()]
+        assert "Hadamard" in kinds and kinds.count("If") == 2
+
+
+class TestPretty:
+    def test_roundtrip_readable(self):
+        from repro.ir import pretty
+
+        s = If("c", seq(Assign("x", AtomE(Lit(UIntV(1)))), Hadamard("b")))
+        text = pretty(s)
+        assert "if c" in text and "let x <- 1;" in text and "H(b);" in text

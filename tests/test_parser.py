@@ -1,0 +1,189 @@
+"""Unit tests for the Tower parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    EBin,
+    EBool,
+    ECall,
+    EDefault,
+    EInt,
+    ENull,
+    EPair,
+    EProj,
+    EUn,
+    EVar,
+    SHadamard,
+    SIf,
+    SLet,
+    SMemSwap,
+    SSkip,
+    SSwapS,
+    SWith,
+)
+from repro.lang.parser import parse_program, parse_stmts
+from repro.types import BoolT, NamedT, PtrT, TupleT, UIntT, UnitT
+
+
+class TestTypes:
+    def test_typedef(self):
+        prog = parse_program("type list = (uint, ptr<list>);")
+        (td,) = prog.typedefs
+        assert td.name == "list"
+        assert td.ty == TupleT(UIntT(), PtrT(NamedT("list")))
+
+    def test_unit_type(self):
+        prog = parse_program("type u = ();")
+        assert prog.typedefs[0].ty == UnitT()
+
+    def test_nested_pointer_type(self):
+        prog = parse_program("type p = ptr<ptr<bool>>;")
+        assert prog.typedefs[0].ty == PtrT(PtrT(BoolT()))
+
+
+class TestStatements:
+    def test_let_forward(self):
+        (s,) = parse_stmts("let x <- 5;")
+        assert s == SLet("x", EInt(5), True)
+
+    def test_let_backward(self):
+        (s,) = parse_stmts("let x -> 5;")
+        assert s == SLet("x", EInt(5), False)
+
+    def test_swap(self):
+        (s,) = parse_stmts("a <-> b;")
+        assert s == SSwapS("a", "b")
+
+    def test_memswap(self):
+        (s,) = parse_stmts("*p <-> x;")
+        assert s == SMemSwap("p", "x")
+
+    def test_hadamard(self):
+        (s,) = parse_stmts("H(x);")
+        assert s == SHadamard("x")
+
+    def test_skip(self):
+        (s,) = parse_stmts("skip;")
+        assert s == SSkip()
+
+    def test_if_without_else(self):
+        (s,) = parse_stmts("if x { let y <- 1; }")
+        assert isinstance(s, SIf)
+        assert s.otherwise is None
+
+    def test_if_with_else(self):
+        (s,) = parse_stmts("if x { let y <- 1; } else { let y <- 2; }")
+        assert isinstance(s, SIf)
+        assert s.otherwise is not None
+
+    def test_else_with_sugar(self):
+        (s,) = parse_stmts("if x { skip; } else with { let t <- 1; } do { skip; }")
+        assert isinstance(s.otherwise[0], SWith)
+
+    def test_with_do_if_sugar(self):
+        (s,) = parse_stmts("with { let t <- 1; } do if c { skip; }")
+        assert isinstance(s, SWith)
+        assert isinstance(s.body[0], SIf)
+
+
+class TestExpressions:
+    def expr(self, text):
+        (s,) = parse_stmts(f"let x <- {text};")
+        return s.expr
+
+    def test_precedence_mul_over_add(self):
+        assert self.expr("a + b * c") == EBin("+", EVar("a"), EBin("*", EVar("b"), EVar("c")))
+
+    def test_precedence_cmp_over_and(self):
+        e = self.expr("a == b && c")
+        assert e == EBin("&&", EBin("==", EVar("a"), EVar("b")), EVar("c"))
+
+    def test_precedence_and_over_or(self):
+        e = self.expr("a || b && c")
+        assert e == EBin("||", EVar("a"), EBin("&&", EVar("b"), EVar("c")))
+
+    def test_left_associative_and(self):
+        e = self.expr("a && b && c")
+        assert e == EBin("&&", EBin("&&", EVar("a"), EVar("b")), EVar("c"))
+
+    def test_not_unary(self):
+        assert self.expr("not a") == EUn("not", EVar("a"))
+
+    def test_projection(self):
+        assert self.expr("t.2") == EProj(EVar("t"), 2)
+
+    def test_chained_projection(self):
+        assert self.expr("t.2.1") == EProj(EProj(EVar("t"), 2), 1)
+
+    def test_bad_projection_index(self):
+        with pytest.raises(ParseError):
+            self.expr("t.3")
+
+    def test_pair(self):
+        assert self.expr("(a, b)") == EPair(EVar("a"), EVar("b"))
+
+    def test_parenthesized(self):
+        assert self.expr("(a)") == EVar("a")
+
+    def test_null_and_default(self):
+        assert self.expr("null") == ENull()
+        assert self.expr("default<uint>") == EDefault(UIntT())
+
+    def test_booleans(self):
+        assert self.expr("true") == EBool(True)
+        assert self.expr("false") == EBool(False)
+
+    def test_call_with_size(self):
+        e = self.expr("f[n-1](a, b)")
+        assert isinstance(e, ECall)
+        assert e.func == "f"
+        assert e.size.var == "n" and e.size.offset == 1
+        assert e.args == (EVar("a"), EVar("b"))
+
+    def test_call_constant_size(self):
+        e = self.expr("f[3]()")
+        assert e.size.var is None and e.size.offset == 3
+
+    def test_call_without_size(self):
+        e = self.expr("f(a)")
+        assert e.size is None
+
+    def test_comparison_with_null(self):
+        e = self.expr("xs == null")
+        assert e == EBin("==", EVar("xs"), ENull())
+
+
+class TestFunctions:
+    def test_fundef_shape(self, length_source):
+        prog = parse_program(length_source)
+        f = prog.fun("length")
+        assert f.size_param == "n"
+        assert [p[0] for p in f.params] == ["xs", "acc"]
+        assert f.return_var == "out"
+        assert f.return_type == UIntT()
+
+    def test_missing_function_raises(self, length_source):
+        prog = parse_program(length_source)
+        with pytest.raises(KeyError):
+            prog.fun("nope")
+
+    def test_unsized_function(self):
+        prog = parse_program("fun f(x: bool) -> bool { let y <- not x; return y; }")
+        assert prog.fun("f").size_param is None
+
+    def test_error_on_junk_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("banana")
+
+    def test_error_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmts("let x <- 1")
+
+
+def test_benchmark_sources_all_parse():
+    from repro.benchsuite import SOURCES
+
+    for name, src in SOURCES.items():
+        prog = parse_program(src)
+        assert prog.fundefs, name

@@ -1,0 +1,126 @@
+"""Register-allocation tests, including the Appendix D scenarios."""
+
+import pytest
+
+from repro.compiler.registers import RegisterAllocator
+from repro.errors import AllocationError
+
+
+class TestBasics:
+    def test_sequential_allocation(self):
+        alloc = RegisterAllocator(base_offset=10)
+        a = alloc.declare("a", 3)
+        b = alloc.declare("b", 2)
+        assert (a.offset, a.width) == (10, 3)
+        assert (b.offset, b.width) == (13, 2)
+        assert alloc.region_end == 15
+
+    def test_lookup(self):
+        alloc = RegisterAllocator()
+        alloc.declare("a", 2)
+        assert alloc.lookup("a").width == 2
+        with pytest.raises(AllocationError):
+            alloc.lookup("zz")
+
+    def test_redeclaration_returns_same_register(self):
+        alloc = RegisterAllocator()
+        a1 = alloc.declare("a", 2)
+        a2 = alloc.declare("a", 2)
+        assert a1 == a2
+
+    def test_redeclaration_width_mismatch_rejected(self):
+        alloc = RegisterAllocator()
+        alloc.declare("a", 2)
+        with pytest.raises(AllocationError):
+            alloc.declare("a", 3)
+
+    def test_unassign_unbound_rejected(self):
+        alloc = RegisterAllocator()
+        with pytest.raises(AllocationError):
+            alloc.unassign("a")
+
+
+class TestPoolReuse:
+    def test_same_scope_free_returns_to_pool(self):
+        # Figure 23b: x freed inside the same scope; y may reuse r1.
+        alloc = RegisterAllocator()
+        scope = alloc.enter_scope()
+        x = alloc.declare("x", 4)
+        alloc.unassign("x")
+        y = alloc.declare("y", 4)
+        assert y.offset == x.offset  # aggressive reuse is legal here
+
+    def test_cross_scope_free_is_reserved(self):
+        # Figure 23d: x declared outside, un-assigned under control; its
+        # register must NOT go to the pool.
+        alloc = RegisterAllocator()
+        x = alloc.declare("x", 4)
+        alloc.enter_scope()
+        alloc.unassign("x")
+        y = alloc.declare("y", 4)
+        assert y.offset != x.offset
+
+    def test_reserved_register_returns_on_redeclaration(self):
+        # Appendix D: the same name must get the same register back.
+        alloc = RegisterAllocator()
+        x = alloc.declare("x", 4)
+        alloc.enter_scope()
+        alloc.unassign("x")
+        x2 = alloc.declare("x", 4)
+        assert x2.offset == x.offset
+        assert alloc.stats.reserved_reuses == 1
+
+    def test_pool_matches_width(self):
+        alloc = RegisterAllocator()
+        alloc.declare("a", 4)
+        alloc.unassign("a")
+        b = alloc.declare("b", 2)  # narrower: no reuse of the 4-bit slot
+        assert b.offset == 4
+
+    def test_exit_scope_underflow_rejected(self):
+        alloc = RegisterAllocator()
+        with pytest.raises(AllocationError):
+            alloc.exit_scope()
+
+
+class TestMultiBinding:
+    def test_guarded_redeclaration_unassigns_twice(self):
+        alloc = RegisterAllocator()
+        fu = alloc.declare("fu", 1)
+        alloc.enter_scope()
+        assert alloc.declare("fu", 1) == fu  # guarded re-declaration
+        alloc.unassign("fu")  # reversal, inner binding
+        assert alloc.lookup("fu") == fu  # still live
+        alloc.exit_scope()
+        alloc.unassign("fu")  # reversal, outer binding
+        with pytest.raises(AllocationError):
+            alloc.unassign("fu")
+
+    def test_final_registers_include_reserved(self):
+        alloc = RegisterAllocator()
+        alloc.declare("x", 2)
+        alloc.enter_scope()
+        alloc.unassign("x")
+        alloc.exit_scope()
+        assert "x" in alloc.final_registers()
+
+
+class TestScopes:
+    def test_scope_instances_are_unique(self):
+        alloc = RegisterAllocator()
+        s1 = alloc.enter_scope()
+        alloc.exit_scope()
+        s2 = alloc.enter_scope()
+        assert s1 != s2
+
+    def test_sibling_scopes_do_not_pool_each_other(self):
+        # declared in scope A, un-assigned in sibling scope B: reserved.
+        alloc = RegisterAllocator()
+        alloc.enter_scope()
+        x = alloc.declare("x", 4)
+        alloc.exit_scope()
+        alloc.enter_scope()
+        alloc.unassign("x")
+        y = alloc.declare("y", 4)
+        assert y.offset != x.offset
+        alloc.exit_scope()

@@ -1,0 +1,74 @@
+"""Tests for the reversal operator I[s] and with-expansion."""
+
+from repro.ir import (
+    Assign,
+    AtomE,
+    Hadamard,
+    If,
+    Lit,
+    MemSwap,
+    Seq,
+    Skip,
+    Swap,
+    UIntV,
+    UnAssign,
+    Var,
+    With,
+    expand_with,
+    reverse,
+    seq,
+)
+
+ASSIGN = Assign("x", AtomE(Lit(UIntV(1))))
+UNASSIGN = UnAssign("x", AtomE(Lit(UIntV(1))))
+
+
+class TestReverse:
+    def test_assign_unassign_flip(self):
+        assert reverse(ASSIGN) == UNASSIGN
+        assert reverse(UNASSIGN) == ASSIGN
+
+    def test_seq_reverses_order(self):
+        s = Seq((ASSIGN, Hadamard("y")))
+        assert reverse(s) == Seq((Hadamard("y"), UNASSIGN))
+
+    def test_if_reverses_body(self):
+        assert reverse(If("c", ASSIGN)) == If("c", UNASSIGN)
+
+    def test_self_inverse_statements(self):
+        for s in [Skip(), Hadamard("x"), Swap("a", "b"), MemSwap("p", "v")]:
+            assert reverse(s) == s
+
+    def test_with_reverses_body_only(self):
+        s = With(ASSIGN, Hadamard("y"))
+        assert reverse(s) == With(ASSIGN, Hadamard("y"))
+        s2 = With(ASSIGN, Assign("z", AtomE(Var("x"))))
+        assert reverse(s2).body == UnAssign("z", AtomE(Var("x")))
+
+    def test_double_reverse_is_identity(self):
+        s = With(ASSIGN, seq(If("c", Hadamard("y")), Swap("a", "b")))
+        assert reverse(reverse(s)) == s
+
+
+class TestExpandWith:
+    def test_expansion_shape(self):
+        s = With(ASSIGN, Hadamard("y"))
+        expanded = expand_with(s)
+        assert expanded == seq(ASSIGN, Hadamard("y"), UNASSIGN)
+
+    def test_nested_with(self):
+        inner = With(Assign("t", AtomE(Lit(UIntV(2)))), Hadamard("y"))
+        s = With(ASSIGN, inner)
+        expanded = expand_with(s)
+        # s1; (s1'; s2'; I[s1']); I[s1]
+        assert isinstance(expanded, Seq)
+        assert len(expanded.stmts) == 5
+
+    def test_expansion_inside_if(self):
+        s = If("c", With(ASSIGN, Hadamard("y")))
+        expanded = expand_with(s)
+        assert expanded == If("c", seq(ASSIGN, Hadamard("y"), UNASSIGN))
+
+    def test_no_with_is_identity(self):
+        s = seq(ASSIGN, Hadamard("y"))
+        assert expand_with(s) == s

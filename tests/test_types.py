@@ -1,0 +1,107 @@
+"""Unit tests for types and layout (repro.types)."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.errors import TypeCheckError
+from repro.types import (
+    BOOL,
+    UINT,
+    BoolT,
+    NamedT,
+    PtrT,
+    TupleT,
+    TypeTable,
+    UIntT,
+    UnitT,
+)
+
+
+@pytest.fixture
+def table():
+    t = TypeTable(CompilerConfig(word_width=4, addr_width=3, heap_cells=5))
+    t.declare("list", TupleT(UINT, PtrT(NamedT("list"))))
+    return t
+
+
+class TestWidths:
+    def test_unit_is_zero_bits(self, table):
+        assert table.width(UnitT()) == 0
+
+    def test_bool_is_one_bit(self, table):
+        assert table.width(BOOL) == 1
+
+    def test_uint_uses_word_width(self, table):
+        assert table.width(UINT) == 4
+
+    def test_ptr_uses_addr_width(self, table):
+        assert table.width(PtrT(NamedT("list"))) == 3
+
+    def test_tuple_width_is_sum(self, table):
+        assert table.width(TupleT(UINT, BOOL)) == 5
+
+    def test_recursive_type_through_pointer(self, table):
+        assert table.width(NamedT("list")) == 4 + 3
+
+    def test_recursion_outside_pointer_rejected(self):
+        t = TypeTable(CompilerConfig())
+        t.declare("bad", TupleT(UINT, NamedT("bad")))
+        with pytest.raises(TypeCheckError):
+            t.width(NamedT("bad"))
+
+    def test_unknown_name_rejected(self, table):
+        with pytest.raises(TypeCheckError):
+            table.width(NamedT("nope"))
+
+
+class TestResolve:
+    def test_resolve_named(self, table):
+        resolved = table.resolve(NamedT("list"))
+        assert isinstance(resolved, TupleT)
+
+    def test_resolve_passthrough(self, table):
+        assert table.resolve(UINT) == UINT
+
+    def test_self_referential_alias_rejected(self):
+        t = TypeTable(CompilerConfig())
+        t.declare("a", NamedT("a"))
+        with pytest.raises(TypeCheckError):
+            t.resolve(NamedT("a"))
+
+    def test_duplicate_declaration_rejected(self, table):
+        with pytest.raises(TypeCheckError):
+            table.declare("list", UINT)
+
+
+class TestEquality:
+    def test_named_equals_structure(self, table):
+        assert table.equal(NamedT("list"), TupleT(UINT, PtrT(NamedT("list"))))
+
+    def test_different_base_types(self, table):
+        assert not table.equal(UINT, BOOL)
+
+    def test_ptr_element_types_compared(self, table):
+        assert not table.equal(PtrT(UINT), PtrT(BOOL))
+
+    def test_recursive_equality_terminates(self, table):
+        table.declare("list2", TupleT(UINT, PtrT(NamedT("list2"))))
+        assert table.equal(NamedT("list"), NamedT("list2"))
+
+    def test_tuple_layout(self, table):
+        off1, off2, t1, t2 = table.tuple_layout(NamedT("list"))
+        assert (off1, off2) == (0, 4)
+        assert t1 == UINT
+
+
+class TestConfig:
+    def test_rejects_zero_word_width(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(word_width=0)
+
+    def test_rejects_heap_too_large_for_addr_width(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(addr_width=2, heap_cells=4)  # 0 is null
+
+    def test_with_cell_bits(self):
+        cfg = CompilerConfig().with_cell_bits(9)
+        assert cfg.cell_bits == 9
