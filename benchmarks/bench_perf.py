@@ -1,0 +1,237 @@
+"""Perf trajectory harness: current hot paths vs the frozen seed implementations.
+
+Times the three rewritten hot paths A/B against the pure-Python seed versions
+kept verbatim in :mod:`repro.reference`:
+
+* the ``peephole`` optimizer baseline (Clifford+T decomposition + window
+  cancellation to fixpoint);
+* the ``rotation-merge`` baseline (phase folding + cancellation), run through
+  the benchmark runner so the shared decomposition cache is exercised;
+* the dense statevector simulator on Clifford+T circuits of test-suite size.
+
+Results (per-point wall clock, bit-for-bit output checks, and aggregate
+speedups) are written to ``BENCH_perf.json`` at the repository root so future
+PRs have a perf trajectory to compare against.
+
+Run as a script::
+
+    python benchmarks/bench_perf.py            # trimmed default range
+    python benchmarks/bench_perf.py --quick    # CI smoke (seconds)
+    REPRO_FULL=1 python benchmarks/bench_perf.py   # deeper range
+
+or through pytest (``pytest benchmarks/bench_perf.py -s``).  The default and
+full modes assert the acceptance thresholds — >=3x for peephole and
+rotation-merge, >=2x for statevector ``run``; the quick smoke run only
+enforces the bit-for-bit output checks (wall-clock floors are too noisy for
+shared CI runners).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if not any(p == str(ROOT / "src") for p in sys.path):
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro import reference
+from repro.benchsuite import BenchmarkRunner
+from repro.circuit import Circuit, cnot, h, t, tdg, to_clifford_t, toffoli
+from repro.circuit.statevector import run
+from repro.config import CompilerConfig
+
+CONFIG = CompilerConfig(word_width=3, addr_width=3, heap_cells=6)
+
+#: (benchmark, depth) points per mode.  The default list covers the trimmed
+#: depth range the test suite and tables use; ``--quick`` is a CI smoke run;
+#: ``REPRO_FULL=1`` extends toward the paper's ranges.
+QUICK_POINTS = [("length", 2), ("sum", 2)]
+DEFAULT_POINTS = [
+    ("length", 2),
+    ("length", 3),
+    ("length", 4),
+    ("sum", 3),
+    ("is_prefix", 3),
+    ("compare", 2),
+]
+FULL_EXTRA = [("length", 5), ("length", 6), ("sum", 4), ("sum", 5)]
+
+THRESHOLDS = {
+    "peephole_speedup": 3.0,
+    "rotation_merge_speedup": 3.0,
+    "statevector_run_speedup": 2.0,
+}
+
+
+def _mode() -> str:
+    if os.environ.get("BENCH_PERF_QUICK") == "1" or "--quick" in sys.argv[1:]:
+        return "quick"
+    if os.environ.get("REPRO_FULL") == "1":
+        return "full"
+    return "default"
+
+
+def _points(mode: str):
+    if mode == "quick":
+        return list(QUICK_POINTS)
+    if mode == "full":
+        return DEFAULT_POINTS + FULL_EXTRA
+    return list(DEFAULT_POINTS)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def _sim_circuits(mode: str):
+    """Deterministic Clifford+T circuits of test-suite size (<= 12 qubits)."""
+    reps = 2 if mode == "quick" else 8
+    n = 10 if mode == "quick" else 14
+    ladder = [toffoli(i, i + 1, i + 2) for i in range(n - 2)]
+    mixed = []
+    for r in range(reps):
+        for q in range(n):
+            mixed.append(h(q))
+            mixed.append(t(q))
+            mixed.append(cnot(q, (q + 1 + r) % n))
+            mixed.append(tdg((q + r) % n))
+        mixed.extend(ladder)
+    return [
+        ("toffoli-ladder", to_clifford_t(Circuit(n, ladder * (4 * reps)))),
+        ("mixed-clifford-t", to_clifford_t(Circuit(n, mixed))),
+    ]
+
+
+def collect(mode: str) -> dict:
+    """Measure every point and return the report dict."""
+    runner = BenchmarkRunner(CONFIG)
+    report = {"mode": mode, "config": vars(CONFIG), "optimize": [], "simulate": []}
+
+    seed_totals = {"peephole": 0.0, "rotation_merge": 0.0}
+    new_totals = {"peephole": 0.0, "rotation_merge": 0.0}
+    for name, depth in _points(mode):
+        compile_s, compiled = _timed(runner.compile, name, depth)
+        circ = compiled.circuit
+        entry = {
+            "benchmark": name,
+            "depth": depth,
+            "gates": len(circ.gates),
+            "compile_seconds": round(compile_s, 4),
+        }
+        for label, seed_fn, opt_name in (
+            ("peephole", reference.peephole_seed, "peephole"),
+            ("rotation_merge", reference.rotation_merge_seed, "rotation-merge"),
+        ):
+            seed_s, seed_circ = _timed(seed_fn, circ)
+            new_s, result = _timed(runner.optimize_circuit, name, depth, opt_name)
+            identical = seed_circ.gates == result.circuit.gates
+            entry[label] = {
+                "seed_seconds": round(seed_s, 4),
+                "seconds": round(new_s, 4),
+                "speedup": round(seed_s / new_s, 2) if new_s else float("inf"),
+                "t_count": result.t_count,
+                "identical_gates": identical,
+            }
+            seed_totals[label] += seed_s
+            new_totals[label] += new_s
+        report["optimize"].append(entry)
+
+    sim_seed = sim_new = 0.0
+    for label, circ in _sim_circuits(mode):
+        seed_s, a = _timed(reference.run_seed, circ)
+        new_s, b = _timed(run, circ)
+        report["simulate"].append(
+            {
+                "circuit": label,
+                "qubits": circ.num_qubits,
+                "gates": len(circ.gates),
+                "seed_seconds": round(seed_s, 4),
+                "seconds": round(new_s, 4),
+                "speedup": round(seed_s / new_s, 2) if new_s else float("inf"),
+                "allclose": bool(np.allclose(a, b)),
+            }
+        )
+        sim_seed += seed_s
+        sim_new += new_s
+
+    report["summary"] = {
+        "peephole_speedup": round(seed_totals["peephole"] / new_totals["peephole"], 2),
+        "rotation_merge_speedup": round(
+            seed_totals["rotation_merge"] / new_totals["rotation_merge"], 2
+        ),
+        "statevector_run_speedup": round(sim_seed / sim_new, 2),
+        "all_outputs_identical": all(
+            entry[label]["identical_gates"]
+            for entry in report["optimize"]
+            for label in ("peephole", "rotation_merge")
+        )
+        and all(entry["allclose"] for entry in report["simulate"]),
+    }
+    return report
+
+
+def write_report(report: dict) -> pathlib.Path:
+    out = ROOT / "BENCH_perf.json"
+    out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return out
+
+
+def _print_report(report: dict) -> None:
+    print(f"== bench_perf ({report['mode']} mode) ==")
+    for entry in report["optimize"]:
+        print(
+            f"{entry['benchmark']}@{entry['depth']}: compile {entry['compile_seconds']}s; "
+            f"peephole {entry['peephole']['speedup']}x; "
+            f"rotation-merge {entry['rotation_merge']['speedup']}x"
+        )
+    for entry in report["simulate"]:
+        print(
+            f"simulate {entry['circuit']} ({entry['qubits']}q, {entry['gates']} gates): "
+            f"{entry['speedup']}x"
+        )
+    for key, value in report["summary"].items():
+        print(f"  {key}: {value}")
+
+
+def _check(report: dict) -> list:
+    failures = []
+    if not report["summary"]["all_outputs_identical"]:
+        failures.append("vectorized output differs from seed output")
+    if report["mode"] == "quick":
+        # CI smoke run: shared runners make wall-clock floors flaky, so the
+        # quick mode only enforces the bit-for-bit output checks
+        return failures
+    for key, floor in THRESHOLDS.items():
+        if report["summary"][key] < floor:
+            failures.append(f"{key} {report['summary'][key]} < {floor}")
+    return failures
+
+
+def test_perf_speedups():
+    report = collect(_mode())
+    write_report(report)
+    _print_report(report)
+    assert not _check(report)
+
+
+def main() -> int:
+    report = collect(_mode())
+    path = write_report(report)
+    _print_report(report)
+    print(f"report written to {path}")
+    failures = _check(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circopt.base import get_optimizer
+from ..circuit.decompose import DecompositionCache
 from ..compiler.pipeline import CompiledProgram, compile_program
 from ..config import DEFAULT, CompilerConfig
 from ..cost.asymptotics import FitReport, fit_report
@@ -58,6 +59,10 @@ class BenchmarkRunner:
         self.config = config
         self._programs = {}
         self._compiled: Dict[Tuple[str, Optional[int], str], CompiledProgram] = {}
+        #: shared across optimizer baselines: `peephole`, `rotation-merge`
+        #: and `zx-like` all decompose the same compiled circuit, and used
+        #: to re-derive the (very large) Clifford+T expansion each time
+        self.decomposition_cache = DecompositionCache()
 
     def program(self, name: str):
         if name not in self._programs:
@@ -138,9 +143,16 @@ class BenchmarkRunner:
         optimization: str = "none",
         **kwargs,
     ):
-        """Run a circuit-optimizer baseline on a compiled benchmark."""
+        """Run a circuit-optimizer baseline on a compiled benchmark.
+
+        The optimizer is handed the runner's shared decomposition cache, so
+        successive baselines on the same compiled circuit skip the repeated
+        Toffoli/Clifford+T expansion.
+        """
         compiled = self.compile(name, depth, optimization)
-        return get_optimizer(optimizer, **kwargs).optimize(compiled.circuit)
+        opt = get_optimizer(optimizer, **kwargs)
+        opt.cache = self.decomposition_cache
+        return opt.optimize(compiled.circuit)
 
 
 def default_depths() -> List[int]:

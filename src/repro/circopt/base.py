@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..circuit.circuit import Circuit
+from ..circuit.decompose import DecompositionCache, to_clifford_t, to_toffoli
 from ..circuit.gates import Gate, GateKind, PHASE_KINDS
 
 
@@ -47,13 +48,15 @@ def gates_commute(a: Gate, b: Gate) -> bool:
       the MCX's target (phases are diagonal, controls are diagonal);
     * phase gates always commute with each other;
     * Hadamards commute only with gates on disjoint qubits.
+
+    All qubit-set tests run on the gates' cached bitmasks.
     """
-    qubits_a = set(a.qubits)
-    qubits_b = set(b.qubits)
-    if not qubits_a & qubits_b:
+    if not a.qubit_mask & b.qubit_mask:
         return True
     if a.kind is GateKind.MCX and b.kind is GateKind.MCX:
-        return a.target not in b.controls and b.target not in a.controls
+        return not (a.target_mask & b.control_mask) and not (
+            b.target_mask & a.control_mask
+        )
     if a.kind in PHASE_KINDS and b.kind in PHASE_KINDS:
         return True
     if a.kind in PHASE_KINDS and not a.controls and b.kind is GateKind.MCX:
@@ -83,9 +86,25 @@ class CircuitOptimizer:
     name: str = "abstract"
     #: the tools from the paper this strategy models
     models: str = ""
+    #: optional shared decomposition cache (set by the benchmark runner so
+    #: several baselines reuse one Toffoli/Clifford+T expansion per circuit)
+    cache: Optional[DecompositionCache] = None
 
     def run(self, circuit: Circuit) -> Circuit:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # --------------------------------------------------- shared decomposition
+    def _to_toffoli(self, circuit: Circuit) -> Circuit:
+        """Toffoli-level decomposition, via the shared cache when present."""
+        if self.cache is not None:
+            return self.cache.toffoli(circuit)
+        return to_toffoli(circuit)
+
+    def _to_clifford_t(self, circuit: Circuit) -> Circuit:
+        """Clifford+T decomposition, via the shared cache when present."""
+        if self.cache is not None:
+            return self.cache.clifford_t(circuit)
+        return to_clifford_t(circuit)
 
     def optimize(self, circuit: Circuit) -> OptimizerResult:
         """Run with timing."""

@@ -5,6 +5,13 @@ incoming gate, scans backwards over already-emitted gates (through ones it
 commutes with, up to a window) looking for an inverse partner to annihilate
 or an uncontrolled phase gate on the same wire to merge with.
 
+The sweep runs on the packed form of :class:`~repro.circuit.gatestream.GateStream`:
+each gate is a small tuple of integers (kind code, inverse-kind code, qubit
+bitmasks, phase eighths) packed once per fixpoint iteration, so the
+window scan performs only integer comparisons and allocates nothing.  The
+output is gate-for-gate identical to the original pure-Python sweep (kept in
+:mod:`repro.reference`), which the property tests verify on random circuits.
+
 :class:`CliffordTPeephole` applies it to the fully decomposed Clifford+T
 circuit — this is the strategy of Qiskit and Pytket's peephole mode, and,
 as Section 8.5 explains via Figure 17, it *cannot* remove the residue of
@@ -15,69 +22,138 @@ behaviour.
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from ..circuit.circuit import Circuit
-from ..circuit.decompose import to_clifford_t
-from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, PHASE_KINDS, Gate, GateKind
-from .base import CircuitOptimizer, gates_commute, register
+from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, PHASE_KINDS, Gate, phase_gate
+from ..circuit.gatestream import (
+    FIRST_PHASE_CODE,
+    GateStream,
+    INVERSE_CODES,
+    KIND_CODES,
+    MCX_CODE,
+)
+from .base import CircuitOptimizer, register
+
+#: Packed gate: (gate, kind, inverse_kind, ctrl_mask, tgt_mask, qubit_mask,
+#: phase_eighths) — ``phase_eighths`` is ``-1`` unless the gate is an
+#: uncontrolled phase gate.
+_Entry = Tuple[Gate, int, int, int, int, int, int]
 
 
-def _is_inverse_pair(a: Gate, b: Gate) -> bool:
-    return a.inverse() == b
+def _pack(gates: List[Gate]) -> List[_Entry]:
+    """Pack gates into integer tuples via the struct-of-arrays stream."""
+    stream = GateStream.from_gates(gates)
+    return [
+        (gate, kind, INVERSE_CODES[kind], cm, tm, qm, ph)
+        for gate, kind, cm, tm, qm, ph in zip(
+            stream.gates,
+            stream.kinds.tolist(),
+            stream.ctrl_masks.tolist(),
+            stream.tgt_masks.tolist(),
+            stream.qubit_masks.tolist(),
+            stream.phase_eighths.tolist(),
+        )
+    ]
 
 
-def _merge_phases(a: Gate, b: Gate) -> List[Gate]:
-    """Replace two uncontrolled phase gates on one wire by their sum."""
-    eighths = (PHASE_EIGHTHS[a.kind] + PHASE_EIGHTHS[b.kind]) % 8
-    return [Gate(kind, (), a.targets) for kind in EIGHTHS_TO_KINDS[eighths]]
+@lru_cache(maxsize=None)
+def _merged_phase_entries(eighths: int, target: int) -> Tuple[_Entry, ...]:
+    """Packed entries for the minimal phase sequence worth ``eighths``."""
+    tm = 1 << target
+    entries = []
+    for kind in EIGHTHS_TO_KINDS[eighths]:
+        code = KIND_CODES[kind]
+        entries.append(
+            (phase_gate(kind, target), code, INVERSE_CODES[code], 0, tm, tm,
+             PHASE_EIGHTHS[kind])
+        )
+    return tuple(entries)
 
 
-def cancel_pass(gates: List[Gate], window: int = 64) -> List[Gate]:
-    """One stack sweep of cancellation and phase merging."""
-    out: List[Gate] = []
-    for gate in gates:
+def _cancel_pass_packed(entries: List[_Entry], window: int) -> List[_Entry]:
+    """One stack sweep over packed gates; integer comparisons only.
+
+    Mirrors the reference sweep exactly: inverse-pair check first, then
+    uncontrolled-phase merge, then the commutation rules of
+    :func:`~repro.circopt.base.gates_commute` inlined on the cached masks.
+    """
+    out: List[_Entry] = []
+    for entry in entries:
+        gate, kind, _inv, cm, tm, qm, ph = entry
         k = len(out) - 1
         steps = 0
         placed = False
         while k >= 0 and steps < window:
             prev = out[k]
-            if _is_inverse_pair(prev, gate):
+            pgate, pkind, pinv, pcm, ptm, pqm, pph = prev
+            if (
+                pinv == kind
+                and pcm == cm
+                and ptm == tm
+                and pgate.targets == gate.targets
+                and pgate.controls == gate.controls
+            ):
                 del out[k]
                 placed = True
                 break
-            if (
-                gate.kind in PHASE_KINDS
-                and not gate.controls
-                and prev.kind in PHASE_KINDS
-                and not prev.controls
-                and prev.targets == gate.targets
-            ):
-                merged = _merge_phases(prev, gate)
-                out[k : k + 1] = merged
+            if ph >= 0 and pph >= 0 and ptm == tm:
+                out[k : k + 1] = _merged_phase_entries((pph + ph) % 8, gate.targets[0])
                 placed = True
                 break
-            if gates_commute(prev, gate):
+            # inlined gates_commute(prev, gate)
+            if not pqm & qm:
                 k -= 1
                 steps += 1
                 continue
+            if pkind == MCX_CODE and kind == MCX_CODE:
+                if not (ptm & cm) and not (tm & pcm):
+                    k -= 1
+                    steps += 1
+                    continue
+                break
+            if pkind >= FIRST_PHASE_CODE and kind >= FIRST_PHASE_CODE:
+                k -= 1
+                steps += 1
+                continue
+            if pph >= 0 and kind == MCX_CODE:
+                if ptm != tm:
+                    k -= 1
+                    steps += 1
+                    continue
+                break
+            if ph >= 0 and pkind == MCX_CODE:
+                if tm != ptm:
+                    k -= 1
+                    steps += 1
+                    continue
+                break
             break
         if not placed:
-            out.append(gate)
+            out.append(entry)
     return out
+
+
+def cancel_pass(gates: List[Gate], window: int = 64) -> List[Gate]:
+    """One stack sweep of cancellation and phase merging."""
+    return [entry[0] for entry in _cancel_pass_packed(_pack(list(gates)), window)]
 
 
 def cancel_to_fixpoint(
     gates: List[Gate], window: int = 64, max_passes: int = 20
 ) -> List[Gate]:
-    """Iterate :func:`cancel_pass` until no gate is removed."""
-    current = list(gates)
+    """Iterate :func:`cancel_pass` until no gate is removed.
+
+    Gates are packed once; subsequent passes reuse the packed entries.
+    """
+    current = _pack(list(gates))
     for _ in range(max_passes):
-        reduced = cancel_pass(current, window)
+        reduced = _cancel_pass_packed(current, window)
         if len(reduced) == len(current):
-            return reduced
+            return [entry[0] for entry in reduced]
         current = reduced
-    return current
+    return [entry[0] for entry in current]
 
 
 @register
@@ -95,6 +171,6 @@ class CliffordTPeephole(CircuitOptimizer):
         self.window = window
 
     def run(self, circuit: Circuit) -> Circuit:
-        clifford_t = to_clifford_t(circuit)
+        clifford_t = self._to_clifford_t(circuit)
         gates = cancel_to_fixpoint(clifford_t.gates, self.window)
         return Circuit(clifford_t.num_qubits, gates, dict(clifford_t.registers))

@@ -19,6 +19,15 @@ circuit's history:
   later occurrences fold into it and disappear.  A parity over an empty
   variable set is itself a global phase and is dropped.
 
+:func:`fold_phases` drives the sweep from the packed arrays of
+:class:`~repro.circuit.gatestream.GateStream` — gate dispatch is an integer
+compare instead of enum identity plus set membership — and materializes the
+placeholders in one batched finalization pass over cached phase-gate
+sequences.  :class:`PhaseFolder` remains the step-by-step API for callers
+that feed gates incrementally; both produce identical output (the property
+tests check this against the retained seed implementation in
+:mod:`repro.reference`).
+
 Soundness: per computational-basis "branch" the phase contributed depends
 only on the parity's value, which is fixed along each branch; folding moves
 the phase to a position where the same parity provably resided on a wire.
@@ -29,11 +38,12 @@ simulation on random circuits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from functools import lru_cache
+from typing import Dict, List, Tuple, Union
 
 from ..circuit.circuit import Circuit
-from ..circuit.decompose import to_clifford_t
-from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, PHASE_KINDS, Gate, GateKind
+from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, PHASE_KINDS, Gate, GateKind, phase_gate
+from ..circuit.gatestream import GateStream, MCX_CODE, SWAP_CODE
 from .base import CircuitOptimizer, register
 from .cancel import cancel_to_fixpoint
 
@@ -52,24 +62,50 @@ class _Placeholder:
     const: int
 
 
+@lru_cache(maxsize=None)
+def _materialized_phases(eighths: int, qubit: int) -> Tuple[Gate, ...]:
+    """Cached minimal phase-gate sequence worth ``eighths`` on ``qubit``."""
+    return tuple(phase_gate(kind, qubit) for kind in EIGHTHS_TO_KINDS[eighths])
+
+
+def _finalize(items: List[Union[Gate, _Placeholder]]) -> List[Gate]:
+    """Batch-materialize placeholders into the output gate list."""
+    gates: List[Gate] = []
+    append = gates.append
+    extend = gates.extend
+    for item in items:
+        if type(item) is _Placeholder:
+            eighths = item.eighths if item.const == 0 else (-item.eighths) % 8
+            extend(_materialized_phases(eighths % 8, item.qubit))
+        else:
+            append(item)
+    return gates
+
+
 class PhaseFolder:
     """Single-sweep phase folding over a Clifford+T gate list."""
+
+    #: Parities are sets of variable ids (``frozenset`` XOR), not the seed's
+    #: one-bit-per-variable integers: fresh variables are minted monotonically,
+    #: so the bigint masks grow to hundreds of kilobits on benchmark circuits
+    #: and hashing them dominates the sweep.  Set equality coincides with
+    #: bigint equality, so the folded output is identical gate-for-gate.
 
     def __init__(self, num_qubits: int) -> None:
         self.num_qubits = num_qubits
         self._next_var = 0
-        self.masks: List[int] = []
+        self.masks: List[frozenset] = []
         self.consts: List[int] = []
         for _ in range(num_qubits):
             self.masks.append(self._fresh())
             self.consts.append(0)
-        self.table: Dict[int, _Placeholder] = {}
+        self.table: Dict[frozenset, _Placeholder] = {}
         self.out: List[Union[Gate, _Placeholder]] = []
 
-    def _fresh(self) -> int:
-        bit = 1 << self._next_var
+    def _fresh(self) -> frozenset:
+        var = self._next_var
         self._next_var += 1
-        return bit
+        return frozenset((var,))
 
     def _cut(self, qubit: int) -> None:
         self.masks[qubit] = self._fresh()
@@ -84,7 +120,7 @@ class PhaseFolder:
             eighths = PHASE_EIGHTHS[kind]
             if self.consts[qubit]:
                 eighths = (-eighths) % 8  # the offset is a global phase
-            if mask == 0:
+            if not mask:
                 return  # constant parity: pure global phase, dropped
             entry = self.table.get(mask)
             if entry is None:
@@ -116,23 +152,75 @@ class PhaseFolder:
         self.out.append(gate)
 
     def finalize(self) -> List[Gate]:
-        gates: List[Gate] = []
-        for item in self.out:
-            if isinstance(item, _Placeholder):
-                eighths = item.eighths if item.const == 0 else (-item.eighths) % 8
-                for kind in EIGHTHS_TO_KINDS[eighths % 8]:
-                    gates.append(Gate(kind, (), (item.qubit,)))
-            else:
-                gates.append(item)
-        return gates
+        return _finalize(self.out)
+
+
+def _fold_stream(stream: GateStream) -> List[Gate]:
+    """Phase-fold a packed gate stream (same sweep as :class:`PhaseFolder`)."""
+    num_qubits = stream.num_qubits
+    # parity sets, not bigint masks — see the note on :class:`PhaseFolder`
+    masks: List[frozenset] = [frozenset((q,)) for q in range(num_qubits)]
+    consts: List[int] = [0] * num_qubits
+    next_var = num_qubits
+    table: Dict[frozenset, _Placeholder] = {}
+    out: List[Union[Gate, _Placeholder]] = []
+    append = out.append
+
+    gates = stream.gates
+    kinds = stream.kinds.tolist()
+    num_controls = stream.num_controls.tolist()
+    eighth_list = stream.phase_eighths.tolist()
+
+    for i, gate in enumerate(gates):
+        ph = eighth_list[i]
+        if ph >= 0:  # uncontrolled phase gate
+            qubit = gate.targets[0]
+            mask = masks[qubit]
+            if consts[qubit]:
+                ph = (-ph) % 8  # the offset is a global phase
+            if not mask:
+                continue  # constant parity: pure global phase, dropped
+            entry = table.get(mask)
+            if entry is None:
+                entry = _Placeholder(qubit, 0, consts[qubit])
+                table[mask] = entry
+                append(entry)
+            entry.eighths = (entry.eighths + ph) % 8
+            continue
+        kind = kinds[i]
+        if kind == MCX_CODE:
+            nc = num_controls[i]
+            if nc == 1:
+                control = gate.controls[0]
+                target = gate.targets[0]
+                masks[target] ^= masks[control]
+                consts[target] ^= consts[control]
+                append(gate)
+                continue
+            if nc == 0:
+                consts[gate.targets[0]] ^= 1
+                append(gate)
+                continue
+        elif kind == SWAP_CODE and not gate.controls:
+            a, b = gate.targets
+            masks[a], masks[b] = masks[b], masks[a]
+            consts[a], consts[b] = consts[b], consts[a]
+            append(gate)
+            continue
+        # H, multiply-controlled gates, controlled phases: barrier on the
+        # gate's qubits (conservative for anything beyond Clifford+T).
+        for qubit in gate.qubits:
+            masks[qubit] = frozenset((next_var,))
+            next_var += 1
+            consts[qubit] = 0
+        append(gate)
+    return _finalize(out)
 
 
 def fold_phases(circuit: Circuit) -> Circuit:
     """Apply one phase-folding sweep to a Clifford+T circuit."""
-    folder = PhaseFolder(circuit.num_qubits)
-    for gate in circuit.gates:
-        folder.feed(gate)
-    return Circuit(circuit.num_qubits, folder.finalize(), dict(circuit.registers))
+    stream = GateStream.from_gates(circuit.gates, circuit.num_qubits)
+    return Circuit(circuit.num_qubits, _fold_stream(stream), dict(circuit.registers))
 
 
 @register
@@ -150,7 +238,7 @@ class RotationMerging(CircuitOptimizer):
         self.window = window
 
     def run(self, circuit: Circuit) -> Circuit:
-        clifford_t = to_clifford_t(circuit)
+        clifford_t = self._to_clifford_t(circuit)
         folded = fold_phases(clifford_t)
         gates = cancel_to_fixpoint(folded.gates, self.window)
         folded2 = fold_phases(Circuit(folded.num_qubits, gates, dict(folded.registers)))

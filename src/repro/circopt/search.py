@@ -20,7 +20,6 @@ from __future__ import annotations
 import time
 
 from ..circuit.circuit import Circuit
-from ..circuit.decompose import to_clifford_t
 from .base import CircuitOptimizer, register
 from .cancel import cancel_to_fixpoint
 from .phase_poly import fold_phases
@@ -43,7 +42,7 @@ class GreedySearch(CircuitOptimizer):
 
     def preprocess(self, circuit: Circuit) -> Circuit:
         """Rotation merging (the Quartz preprocessing phase)."""
-        return fold_phases(to_clifford_t(circuit))
+        return fold_phases(self._to_clifford_t(circuit))
 
     def run(self, circuit: Circuit) -> Circuit:
         current = self.preprocess(circuit)

@@ -15,7 +15,7 @@ self-inverse gates to fixpoint -> decompose surviving Toffolis (Figure 6)
 from __future__ import annotations
 
 from ..circuit.circuit import Circuit
-from ..circuit.decompose import decompose_toffoli_to_clifford_t, to_toffoli
+from ..circuit.decompose import decompose_toffoli_to_clifford_t
 from ..circuit.gates import Gate, GateKind
 from .base import CircuitOptimizer, register
 from .cancel import cancel_to_fixpoint
@@ -35,7 +35,7 @@ class ToffoliCancel(CircuitOptimizer):
         self.window = window
 
     def run(self, circuit: Circuit) -> Circuit:
-        toffoli_level = to_toffoli(circuit)
+        toffoli_level = self._to_toffoli(circuit)
         reduced = cancel_to_fixpoint(toffoli_level.gates, self.window)
         clifford_t: list[Gate] = []
         for gate in reduced:

@@ -19,7 +19,7 @@ wide scan windows:
 from __future__ import annotations
 
 from ..circuit.circuit import Circuit
-from ..circuit.decompose import decompose_toffoli_to_clifford_t, to_toffoli
+from ..circuit.decompose import decompose_toffoli_to_clifford_t
 from ..circuit.gates import Gate, GateKind
 from .base import CircuitOptimizer, register
 from .cancel import cancel_to_fixpoint
@@ -40,7 +40,7 @@ class ZXLike(CircuitOptimizer):
         self.window = window
 
     def run(self, circuit: Circuit) -> Circuit:
-        toffoli_level = to_toffoli(circuit)
+        toffoli_level = self._to_toffoli(circuit)
         reduced = cancel_to_fixpoint(toffoli_level.gates, self.window)
         clifford_t: list[Gate] = []
         for gate in reduced:

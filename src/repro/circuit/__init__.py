@@ -7,18 +7,22 @@ and 6 of the paper.
 
 from .circuit import Circuit, GateCounts, Register
 from .decompose import (
+    DecompositionCache,
     decompose_mcx_to_toffoli,
     decompose_toffoli_to_clifford_t,
+    expand_toffolis,
     expanded_t_count,
     to_clifford_t,
     to_toffoli,
 )
+from .gatestream import GateStream
 from .gates import (
     Gate,
     GateKind,
     cnot,
     h,
     mcx,
+    phase_gate,
     s,
     sdg,
     swap,
@@ -38,9 +42,13 @@ __all__ = [
     "Register",
     "Gate",
     "GateKind",
+    "GateStream",
+    "DecompositionCache",
+    "expand_toffolis",
     "cnot",
     "h",
     "mcx",
+    "phase_gate",
     "s",
     "sdg",
     "swap",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property, lru_cache
 from typing import Iterable, Tuple
 
 
@@ -122,10 +123,37 @@ class Gate:
             raise ValueError(f"{self.kind} needs exactly one target")
 
     # ---------------------------------------------------------------- helpers
-    @property
+    #
+    # ``qubits`` and the bitmasks are cached: they are consulted on every
+    # peephole comparison and every ``apply_gate`` call, and a ``Gate`` is
+    # immutable, so computing them once per instance is safe.  The caches
+    # live in the instance ``__dict__`` (``cached_property`` bypasses the
+    # frozen-dataclass ``__setattr__``) and do not affect equality/hashing.
+    @cached_property
     def qubits(self) -> Tuple[int, ...]:
         """All qubits the gate touches (controls first)."""
         return self.controls + self.targets
+
+    @cached_property
+    def control_mask(self) -> int:
+        """Bitmask with bit ``c`` set for every control qubit ``c``."""
+        mask = 0
+        for c in self.controls:
+            mask |= 1 << c
+        return mask
+
+    @cached_property
+    def target_mask(self) -> int:
+        """Bitmask with bit ``t`` set for every target qubit ``t``."""
+        mask = 0
+        for t in self.targets:
+            mask |= 1 << t
+        return mask
+
+    @cached_property
+    def qubit_mask(self) -> int:
+        """Bitmask of every qubit the gate touches."""
+        return self.control_mask | self.target_mask
 
     @property
     def target(self) -> int:
@@ -204,16 +232,31 @@ class Gate:
 
 
 # ------------------------------------------------------------------ builders
+#
+# The scalar builders are memoized: optimizer and decomposition hot loops
+# emit the same small gates millions of times, and a frozen ``Gate`` can be
+# shared freely.  Builders taking iterables (``mcx``, ``h``) are not cached.
+@lru_cache(maxsize=None)
+def phase_gate(kind: GateKind, target: int) -> Gate:
+    """Shared instance of an uncontrolled phase gate of ``kind``."""
+    if kind not in PHASE_KINDS:
+        raise ValueError(f"{kind} is not a phase kind")
+    return Gate(kind, (), (target,))
+
+
+@lru_cache(maxsize=None)
 def x(target: int) -> Gate:
     """NOT gate."""
     return Gate(GateKind.MCX, (), (target,))
 
 
+@lru_cache(maxsize=None)
 def cnot(control: int, target: int) -> Gate:
     """Controlled-NOT gate."""
     return Gate(GateKind.MCX, (control,), (target,))
 
 
+@lru_cache(maxsize=None)
 def toffoli(c1: int, c2: int, target: int) -> Gate:
     """Doubly-controlled NOT gate."""
     return Gate(GateKind.MCX, (c1, c2), (target,))
@@ -231,27 +274,27 @@ def h(target: int, controls: Iterable[int] = ()) -> Gate:
 
 def t(target: int) -> Gate:
     """T gate."""
-    return Gate(GateKind.T, (), (target,))
+    return phase_gate(GateKind.T, target)
 
 
 def tdg(target: int) -> Gate:
     """Inverse T gate."""
-    return Gate(GateKind.TDG, (), (target,))
+    return phase_gate(GateKind.TDG, target)
 
 
 def s(target: int) -> Gate:
     """S gate."""
-    return Gate(GateKind.S, (), (target,))
+    return phase_gate(GateKind.S, target)
 
 
 def sdg(target: int) -> Gate:
     """Inverse S gate."""
-    return Gate(GateKind.SDG, (), (target,))
+    return phase_gate(GateKind.SDG, target)
 
 
 def z(target: int) -> Gate:
     """Z gate."""
-    return Gate(GateKind.Z, (), (target,))
+    return phase_gate(GateKind.Z, target)
 
 
 def swap(a: int, b: int) -> Gate:

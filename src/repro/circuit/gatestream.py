@@ -1,0 +1,201 @@
+"""Compact struct-of-arrays representation of a gate stream.
+
+The optimizer and simulation hot paths (``circopt.cancel``,
+``circopt.phase_poly``, ``circuit.statevector``) spend most of their time on
+three questions about a gate: *what kind is it*, *which qubits does it
+touch*, and *how many eighth-turns of phase does it apply*.  Answering them
+through ``Gate`` objects costs an attribute lookup, an enum identity check
+and often a set construction per query.  :class:`GateStream` answers them
+through parallel numpy arrays built once per sweep:
+
+* ``kinds`` — ``uint8`` kind codes (:data:`KIND_CODES`);
+* ``num_controls`` — ``int32`` control counts;
+* ``ctrl_masks`` / ``tgt_masks`` / ``qubit_masks`` — per-gate qubit bitmasks.
+  These are *object* arrays of Python ints because benchmark circuits
+  routinely exceed 64 wires, so fixed-width integers would overflow;
+* ``phase_eighths`` — ``int8``; the eighth-turn count of an *uncontrolled
+  phase gate* (T=1, S=2, Z=4, S†=6, T†=7) and ``-1`` for every other gate.
+
+The stream also retains the original :class:`Gate` objects, which makes the
+round-trip ``GateStream.from_gates(gs).to_gates() == gs`` lossless by
+construction: the arrays alone canonicalize control/target *order* (a mask
+is a set), and the paper's evaluation requires bit-for-bit identical gate
+lists before and after the vectorized rewrite.  :meth:`rebuild_gates`
+reconstructs gates from the arrays alone (controls ascending) for callers
+that want the canonical form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .gates import PHASE_EIGHTHS, Gate, GateKind
+
+#: Dense integer code per gate kind (stable across the package).
+KIND_CODES = {
+    GateKind.MCX: 0,
+    GateKind.H: 1,
+    GateKind.SWAP: 2,
+    GateKind.T: 3,
+    GateKind.TDG: 4,
+    GateKind.S: 5,
+    GateKind.SDG: 6,
+    GateKind.Z: 7,
+}
+
+#: Inverse of :data:`KIND_CODES` as a tuple indexed by code.
+CODE_KINDS = tuple(
+    kind for kind, _ in sorted(KIND_CODES.items(), key=lambda item: item[1])
+)
+
+MCX_CODE = KIND_CODES[GateKind.MCX]
+H_CODE = KIND_CODES[GateKind.H]
+SWAP_CODE = KIND_CODES[GateKind.SWAP]
+
+#: Codes ``>= FIRST_PHASE_CODE`` are diagonal phase kinds (T/T†/S/S†/Z).
+FIRST_PHASE_CODE = KIND_CODES[GateKind.T]
+
+#: ``INVERSE_CODES[c]`` is the kind code of the inverse of kind code ``c``
+#: (phase kinds invert pairwise; MCX/H/SWAP/Z are self-inverse).
+INVERSE_CODES = tuple(
+    KIND_CODES[
+        {
+            GateKind.T: GateKind.TDG,
+            GateKind.TDG: GateKind.T,
+            GateKind.S: GateKind.SDG,
+            GateKind.SDG: GateKind.S,
+        }.get(kind, kind)
+    ]
+    for kind in CODE_KINDS
+)
+
+#: Eighth-turns applied by each kind code (0 for non-phase kinds).
+CODE_EIGHTHS = tuple(PHASE_EIGHTHS.get(kind, 0) for kind in CODE_KINDS)
+
+
+class GateStream:
+    """Parallel-array mirror of a ``list[Gate]`` (see module docstring)."""
+
+    __slots__ = (
+        "gates",
+        "num_qubits",
+        "kinds",
+        "num_controls",
+        "ctrl_masks",
+        "tgt_masks",
+        "qubit_masks",
+        "phase_eighths",
+    )
+
+    def __init__(
+        self,
+        gates: Sequence[Gate],
+        num_qubits: int,
+        kinds: np.ndarray,
+        num_controls: np.ndarray,
+        ctrl_masks: np.ndarray,
+        tgt_masks: np.ndarray,
+        qubit_masks: np.ndarray,
+        phase_eighths: np.ndarray,
+    ) -> None:
+        self.gates = list(gates)
+        self.num_qubits = num_qubits
+        self.kinds = kinds
+        self.num_controls = num_controls
+        self.ctrl_masks = ctrl_masks
+        self.tgt_masks = tgt_masks
+        self.qubit_masks = qubit_masks
+        self.phase_eighths = phase_eighths
+
+    # -------------------------------------------------------------- building
+    @classmethod
+    def from_gates(
+        cls, gates: Iterable[Gate], num_qubits: int | None = None
+    ) -> "GateStream":
+        """Pack a gate list into parallel arrays (lossless; gates retained)."""
+        gate_list = list(gates)
+        n = len(gate_list)
+        kinds = np.empty(n, dtype=np.uint8)
+        num_controls = np.empty(n, dtype=np.int32)
+        ctrl_masks = np.empty(n, dtype=object)
+        tgt_masks = np.empty(n, dtype=object)
+        qubit_masks = np.empty(n, dtype=object)
+        phase_eighths = np.empty(n, dtype=np.int8)
+        top = -1
+        for i, gate in enumerate(gate_list):
+            code = KIND_CODES[gate.kind]
+            kinds[i] = code
+            num_controls[i] = len(gate.controls)
+            cm = gate.control_mask
+            tm = gate.target_mask
+            ctrl_masks[i] = cm
+            tgt_masks[i] = tm
+            qubit_masks[i] = cm | tm
+            phase_eighths[i] = (
+                CODE_EIGHTHS[code] if code >= FIRST_PHASE_CODE and not cm else -1
+            )
+            high = max(gate.qubits, default=-1)
+            if high > top:
+                top = high
+        if num_qubits is None:
+            num_qubits = top + 1
+        return cls(
+            gate_list,
+            num_qubits,
+            kinds,
+            num_controls,
+            ctrl_masks,
+            tgt_masks,
+            qubit_masks,
+            phase_eighths,
+        )
+
+    # ------------------------------------------------------------ unpacking
+    def to_gates(self) -> List[Gate]:
+        """The original gate list (lossless round-trip)."""
+        return list(self.gates)
+
+    def rebuild_gates(self) -> List[Gate]:
+        """Reconstruct gates from the arrays alone.
+
+        Control and target order is canonicalized to ascending qubit index;
+        the result is semantically identical to :meth:`to_gates` and equal to
+        it whenever the source gates already listed qubits in ascending
+        order.  Used by tests to check the arrays are faithful.
+        """
+        out: List[Gate] = []
+        for i in range(len(self.gates)):
+            kind = CODE_KINDS[self.kinds[i]]
+            controls = _mask_bits(self.ctrl_masks[i])
+            targets = _mask_bits(self.tgt_masks[i])
+            out.append(Gate(kind, controls, targets))
+        return out
+
+    # ------------------------------------------------------------- measures
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def t_count(self) -> int:
+        """Number of T/T† gates, counted on the packed array."""
+        return int(
+            np.count_nonzero(
+                (self.kinds == KIND_CODES[GateKind.T])
+                | (self.kinds == KIND_CODES[GateKind.TDG])
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GateStream {self.num_qubits} qubits, {len(self.gates)} gates>"
+
+
+def _mask_bits(mask: int):
+    bits = []
+    q = 0
+    while mask:
+        if mask & 1:
+            bits.append(q)
+        mask >>= 1
+        q += 1
+    return tuple(bits)

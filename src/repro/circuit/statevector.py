@@ -4,11 +4,29 @@ Used by the test suite to verify, up to global phase, that gate
 decompositions and circuit optimizers preserve semantics.  Practical up to
 roughly 16 qubits; the benchmark programs are validated by the classical
 simulator instead.
+
+The kernels update the state **in place** on its leading axis and reuse
+cached index tables:
+
+* uncontrolled gates use reshape views (``state.reshape(-1, 2, 2**t, ...)``)
+  and touch no index arrays at all;
+* controlled gates use memoized pair/selection index tables keyed by
+  ``(dim, control_mask, target_bit)`` — circuits repeat the same few masks
+  thousands of times, so the ``np.arange``/compare work is paid once.
+
+Because the leading axis is generic, the same kernels run one statevector
+(shape ``(dim,)``) or all basis columns at once (shape ``(dim, dim)``),
+which is how :func:`unitary` now builds the full matrix in one sweep.
+
+:func:`run` never mutates its caller's array (it simulates on a private
+copy), but :func:`apply_gate` itself is destructive: it may modify the
+array passed in and returns it.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable
 
 import numpy as np
@@ -18,6 +36,9 @@ from .circuit import Circuit
 from .gates import Gate, GateKind, PHASE_EIGHTHS
 
 _SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+#: ``exp(i*pi*k/4)`` for k in 0..7 (the eight phase-gate rotations).
+_EIGHTH_PHASES = tuple(np.exp(1j * math.pi * k / 4.0) for k in range(8))
 
 
 def zero_state(num_qubits: int) -> np.ndarray:
@@ -34,72 +55,126 @@ def basis_state(num_qubits: int, bits: int) -> np.ndarray:
     return state
 
 
-def _control_mask(gate: Gate) -> int:
-    mask = 0
-    for c in gate.controls:
-        mask |= 1 << c
-    return mask
+@lru_cache(maxsize=32)
+def _indices(dim: int) -> np.ndarray:
+    arr = np.arange(dim)
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=128)
+def _pair_indices(dim: int, cmask: int, tbit: int):
+    """(low, high) index tables: active rows with target bit 0 / 1."""
+    idx = _indices(dim)
+    low = idx[((idx & cmask) == cmask) & ((idx & tbit) == 0)]
+    high = low | tbit
+    low.setflags(write=False)
+    high.setflags(write=False)
+    return low, high
+
+
+@lru_cache(maxsize=128)
+def _phase_indices(dim: int, cmask: int, tbit: int) -> np.ndarray:
+    """Index table of active rows with the target bit set."""
+    idx = _indices(dim)
+    sel = idx[((idx & cmask) == cmask) & ((idx & tbit) != 0)]
+    sel.setflags(write=False)
+    return sel
+
+
+@lru_cache(maxsize=128)
+def _swap_indices(dim: int, cmask: int, abit: int, bbit: int):
+    """(low, high) index tables for rows whose a/b target bits differ."""
+    idx = _indices(dim)
+    sel = ((idx & cmask) == cmask) & ((idx & abit) != 0) & ((idx & bbit) == 0)
+    low = idx[sel]
+    high = low ^ (abit | bbit)
+    low.setflags(write=False)
+    high.setflags(write=False)
+    return low, high
 
 
 def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
-    """Apply one gate to a statevector (returns a new array for H, in-place
-    phase/permutation updates otherwise)."""
+    """Apply one gate to a statevector **in place** and return it.
+
+    ``state`` may carry trailing axes (e.g. a ``(dim, k)`` batch of
+    statevectors as columns); the gate acts on the leading axis.
+    """
     dim = state.shape[0]
-    indices = np.arange(dim)
-    cmask = _control_mask(gate)
-    active = (indices & cmask) == cmask
+    cmask = gate.control_mask
+    # the reshape-view fast paths need a C-contiguous buffer (reshape would
+    # otherwise return a copy and the in-place write would be lost)
+    contiguous = state.flags.c_contiguous
 
     if gate.kind is GateKind.MCX:
         tbit = 1 << gate.target
-        flipped = np.where(active, indices ^ tbit, indices)
-        out = np.empty_like(state)
-        out[flipped] = state[indices]
-        return out
+        if cmask == 0 and contiguous:
+            v = state.reshape((-1, 2, tbit) + state.shape[1:])
+            tmp = v[:, 0].copy()
+            v[:, 0] = v[:, 1]
+            v[:, 1] = tmp
+            return state
+        low, high = _pair_indices(dim, cmask, tbit)
+        tmp = state[low]
+        state[low] = state[high]
+        state[high] = tmp
+        return state
 
     if gate.kind is GateKind.SWAP:
         a, b = gate.targets
-        bit_a = (indices >> a) & 1
-        bit_b = (indices >> b) & 1
-        differ = active & (bit_a != bit_b)
-        swapped = np.where(differ, indices ^ ((1 << a) | (1 << b)), indices)
-        out = np.empty_like(state)
-        out[swapped] = state[indices]
-        return out
+        low, high = _swap_indices(dim, cmask, 1 << a, 1 << b)
+        tmp = state[low]
+        state[low] = state[high]
+        state[high] = tmp
+        return state
 
     if gate.kind in PHASE_EIGHTHS:
-        eighths = PHASE_EIGHTHS[gate.kind]
+        phase = _EIGHTH_PHASES[PHASE_EIGHTHS[gate.kind]]
         tbit = 1 << gate.target
-        phase = np.exp(1j * math.pi * eighths / 4.0)
-        sel = active & ((indices & tbit) != 0)
-        out = state.copy()
-        out[sel] *= phase
-        return out
+        if cmask == 0 and contiguous:
+            v = state.reshape((-1, 2, tbit) + state.shape[1:])
+            v[:, 1] *= phase
+            return state
+        state[_phase_indices(dim, cmask, tbit)] *= phase
+        return state
 
     if gate.kind is GateKind.H:
         tbit = 1 << gate.target
-        out = state.copy()
-        low = indices[active & ((indices & tbit) == 0)]
-        high = low | tbit
+        if cmask == 0 and contiguous:
+            v = state.reshape((-1, 2, tbit) + state.shape[1:])
+            a = v[:, 0] + v[:, 1]
+            np.subtract(v[:, 0], v[:, 1], out=v[:, 1])
+            v[:, 1] *= _SQRT1_2
+            a *= _SQRT1_2
+            v[:, 0] = a
+            return state
+        low, high = _pair_indices(dim, cmask, tbit)
         a = state[low]
         b = state[high]
-        out[low] = _SQRT1_2 * (a + b)
-        out[high] = _SQRT1_2 * (a - b)
-        return out
+        state[low] = _SQRT1_2 * (a + b)
+        state[high] = _SQRT1_2 * (a - b)
+        return state
 
     raise SimulationError(f"unsupported gate {gate}")  # pragma: no cover
 
 
 def run(circuit: Circuit, state: np.ndarray | None = None) -> np.ndarray:
-    """Run a circuit on a statevector (default |0...0⟩)."""
+    """Run a circuit on a statevector (default |0...0⟩).
+
+    The caller's array is never modified: simulation happens on a copy.
+    """
     if state is None:
         state = zero_state(circuit.num_qubits)
-    if state.shape[0] != (1 << circuit.num_qubits):
-        raise SimulationError(
-            f"state has {state.shape[0]} amplitudes, circuit needs "
-            f"{1 << circuit.num_qubits}"
-        )
+    else:
+        if state.shape[0] != (1 << circuit.num_qubits):
+            raise SimulationError(
+                f"state has {state.shape[0]} amplitudes, circuit needs "
+                f"{1 << circuit.num_qubits}"
+            )
+        state = np.array(state, dtype=np.complex128)
+    num_qubits = circuit.num_qubits
     for gate in circuit.gates:
-        state = apply_gate(state, gate, circuit.num_qubits)
+        state = apply_gate(state, gate, num_qubits)
     return state
 
 
@@ -111,9 +186,10 @@ def unitary(circuit: Circuit, num_qubits: int | None = None) -> np.ndarray:
     if n != circuit.num_qubits:
         circuit = Circuit(n, circuit.gates)
     dim = 1 << n
-    mat = np.zeros((dim, dim), dtype=np.complex128)
-    for col in range(dim):
-        mat[:, col] = run(circuit, basis_state(n, col))
+    # all basis columns evolve at once: the kernels act on the leading axis
+    mat = np.eye(dim, dtype=np.complex128)
+    for gate in circuit.gates:
+        mat = apply_gate(mat, gate, n)
     return mat
 
 

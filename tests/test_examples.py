@@ -1,5 +1,6 @@
 """The example scripts must run end-to-end and print sensible results."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,15 +8,23 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str) -> str:
+    # the subprocess does not inherit pytest's import path, so make the
+    # package importable explicitly (works with or without `pip install -e .`)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     result = subprocess.run(
         [sys.executable, name],
         cwd=EXAMPLES,
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout

@@ -1,0 +1,45 @@
+"""The vectorized optimizers must reproduce the seed T-counts exactly.
+
+``tests/data/seed_tcounts.json`` records, for every (benchmark, depth,
+optimizer) triple in the trimmed depth range, the T-count the pure-Python
+seed implementations produced before the gate-stream rewrite.  The packed
+hot paths are required to be semantics-preserving *and* emission-preserving,
+so every triple must still come out bit-for-bit identical.
+
+``greedy-search`` is recorded in ``preprocess_only`` mode: its full search
+loop is wall-clock bounded and therefore not deterministic across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.benchsuite import BenchmarkRunner
+from repro.config import CompilerConfig
+
+DATA = pathlib.Path(__file__).resolve().parent / "data" / "seed_tcounts.json"
+SEED = json.loads(DATA.read_text())
+
+assert SEED["greedy_search_mode"] == "preprocess_only"
+
+_RUNNER = None
+
+
+def _runner() -> BenchmarkRunner:
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = BenchmarkRunner(CompilerConfig(**SEED["config"]))
+    return _RUNNER
+
+
+@pytest.mark.parametrize("key", sorted(SEED["counts"]))
+def test_t_count_matches_seed(key):
+    name, depth, optimizer = key.split("|")
+    kwargs = {"preprocess_only": True} if optimizer == "greedy-search" else {}
+    result = _runner().optimize_circuit(
+        name, None if depth == "None" else int(depth), optimizer, **kwargs
+    )
+    assert result.t_count == SEED["counts"][key], key
