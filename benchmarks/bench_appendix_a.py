@@ -11,9 +11,9 @@ compile ``length`` at fixed depth across word widths and check that
 
 from __future__ import annotations
 
-from conftest import print_table
+from conftest import make_runner, print_table
 
-from repro.benchsuite import BenchmarkRunner
+from repro.benchsuite import measure_tasks
 from repro.config import CompilerConfig
 
 WIDTHS = [2, 3, 4, 5]
@@ -25,10 +25,14 @@ def test_appendix_a_width_scaling():
     ratios = []
     t_by_width = []
     for width in WIDTHS:
-        config = CompilerConfig(word_width=width, addr_width=3, heap_cells=6)
-        runner = BenchmarkRunner(config)
-        before = runner.measure("length", DEPTH, "none").t
-        after = runner.measure("length", DEPTH, "spire").t
+        # one grid per config: the artifact cache keys on every config
+        # field, so each width caches (and replays) independently
+        runner = make_runner(
+            CompilerConfig(word_width=width, addr_width=3, heap_cells=6)
+        )
+        grid = runner.run_grid(measure_tasks("length", [DEPTH], ["none", "spire"]))
+        before = grid.measure("length", DEPTH, "none")["t"]
+        after = grid.measure("length", DEPTH, "spire")["t"]
         ratio = before / after
         ratios.append(ratio)
         t_by_width.append(before)
@@ -45,6 +49,8 @@ def test_appendix_a_width_scaling():
 
 
 def test_appendix_a_benchmark(benchmark):
+    from repro.benchsuite import BenchmarkRunner
+
     config = CompilerConfig(word_width=4, addr_width=3, heap_cells=6)
     runner = BenchmarkRunner(config)
     benchmark(lambda: runner.measure("length", 3, "none"))

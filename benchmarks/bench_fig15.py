@@ -9,6 +9,10 @@ Figure 15b (= Figure 12b): T-counts after each circuit-optimizer baseline
 on the unoptimized circuit.  The paper's headline (RQ3): peephole-style
 optimizers stay quadratic, while Toffoli-level cancellation and the
 ZX-strength pipeline recover linear T-complexity.
+
+Both tests run the shared ``fig15`` grid over the paper's full depth range
+(2..10): the first run fans the grid across workers and populates the
+artifact cache; the second test (and every re-run) replays from it.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import pytest
 from conftest import DEPTHS, has_linear_growth, print_table, tail_fit
 
+from repro.benchsuite import paper_grid
 from repro.circopt import get_optimizer
 from repro.cost import fit_report
 
@@ -23,12 +28,14 @@ PROGRAM = "length-simplified"
 
 
 def test_figure15a_program_level(runner):
-    series = {"none": [], "narrow": [], "flatten": [], "spire": [], "spire+toffoli": []}
-    for depth in DEPTHS:
-        for opt in ("none", "narrow", "flatten", "spire"):
-            series[opt].append(runner.measure(PROGRAM, depth, opt).t)
-        combined = runner.optimize_circuit(PROGRAM, depth, "toffoli-cancel", "spire")
-        series["spire+toffoli"].append(combined.t_count)
+    grid = runner.run_grid(paper_grid("fig15", DEPTHS))
+    series = {
+        opt: grid.series(PROGRAM, DEPTHS, "t", opt)
+        for opt in ("none", "narrow", "flatten", "spire")
+    }
+    series["spire+toffoli"] = grid.series(
+        PROGRAM, DEPTHS, "t_count", "spire", optimizer="toffoli-cancel"
+    )
     rows = [[d] + [series[k][i] for k in series] for i, d in enumerate(DEPTHS)]
     fits = {k: tail_fit(DEPTHS, v) for k, v in series.items()}
     rows.append(["tail fit"] + [fits[k].big_o for k in series])
@@ -41,7 +48,6 @@ def test_figure15a_program_level(runner):
     assert fits["narrow"].degree == 2  # constant-factor improvement only
     assert fits["flatten"].degree == 1  # the asymptotic rescue (Thm 6.1)
     assert fits["spire"].degree == 1
-    at_max = DEPTHS[-1]
     idx = len(DEPTHS) - 1
     assert series["narrow"][idx] < series["none"][idx]
     assert series["spire"][idx] <= series["flatten"][idx]
@@ -52,12 +58,10 @@ OPTIMIZERS = ["peephole", "rotation-merge", "toffoli-cancel", "zx-like"]
 
 
 def test_figure15b_circuit_optimizers(runner):
-    series = {name: [] for name in ["original"] + OPTIMIZERS}
-    for depth in DEPTHS:
-        series["original"].append(runner.measure(PROGRAM, depth, "none").t)
-        for name in OPTIMIZERS:
-            result = runner.optimize_circuit(PROGRAM, depth, name)
-            series[name].append(result.t_count)
+    grid = runner.run_grid(paper_grid("fig15", DEPTHS))
+    series = {"original": grid.series(PROGRAM, DEPTHS, "t", "none")}
+    for name in OPTIMIZERS:
+        series[name] = grid.series(PROGRAM, DEPTHS, "t_count", optimizer=name)
     rows = [[d] + [series[k][i] for k in series] for i, d in enumerate(DEPTHS)]
     fits = {k: tail_fit(DEPTHS, v) for k, v in series.items()}
     rows.append(["tail fit"] + [fits[k].big_o for k in series])

@@ -3,24 +3,23 @@
 Regenerates both series of the figure — the MCX-complexity (idealized
 hardware) and the T-complexity (surface code) of ``length`` as the recursion
 depth grows — and checks the headline claim of Section 3.2: MCX is O(n)
-while T is O(n^2).
+while T is O(n^2).  Runs the ``fig2`` grid (full depth range 2..10) through
+the shared cache-backed grid runner.
 """
 
 from __future__ import annotations
 
 from conftest import DEPTHS, print_table
 
+from repro.benchsuite import paper_grid
 from repro.cost import fit_report
 
 
-def test_figure2_series(runner, benchmark=None):
-    rows = []
-    mcx_series, t_series = [], []
-    for depth in DEPTHS:
-        point = runner.measure("length", depth, "none")
-        mcx_series.append(point.mcx)
-        t_series.append(point.t)
-        rows.append([depth, point.mcx, point.t])
+def test_figure2_series(runner):
+    grid = runner.run_grid(paper_grid("fig2", DEPTHS))
+    mcx_series = grid.series("length", DEPTHS, "mcx")
+    t_series = grid.series("length", DEPTHS, "t")
+    rows = [[d, m, t] for d, m, t in zip(DEPTHS, mcx_series, t_series)]
     mcx_fit = fit_report(DEPTHS, mcx_series)
     t_fit = fit_report(DEPTHS, t_series)
     rows.append(["fit", mcx_fit, t_fit])

@@ -2,7 +2,8 @@
 with circuit optimizers.
 
 For ``length-simplified``: every combination of {CN alone, CF alone, CF+CN}
-with {nothing, ToffoliCancel, ZX-like}.  The paper's observations:
+with {nothing, ToffoliCancel, ZX-like}, as one ``fig24`` grid through the
+shared cache-backed runner.  The paper's observations:
 
 * each program-level optimization followed by a circuit optimizer beats the
   circuit optimizer alone;
@@ -14,17 +15,20 @@ from __future__ import annotations
 
 from conftest import DEPTHS, print_table
 
+from repro.benchsuite import paper_grid
+
 PROGRAM = "length-simplified"
 DEPTH = DEPTHS[-1]
 
 
 def test_figure24_synergy(runner):
+    grid = runner.run_grid(paper_grid("fig24", DEPTHS))
     t = {}
     for program_opt in ("none", "narrow", "flatten", "spire"):
-        t[(program_opt, "-")] = runner.measure(PROGRAM, DEPTH, program_opt).t
+        t[(program_opt, "-")] = grid.measure(PROGRAM, DEPTH, program_opt)["t"]
         for circuit_opt in ("toffoli-cancel", "zx-like"):
-            result = runner.optimize_circuit(PROGRAM, DEPTH, circuit_opt, program_opt)
-            t[(program_opt, circuit_opt)] = result.t_count
+            row = grid.optimized(PROGRAM, DEPTH, circuit_opt, program_opt)
+            t[(program_opt, circuit_opt)] = row["t_count"]
     rows = [
         [po] + [t[(po, co)] for co in ("-", "toffoli-cancel", "zx-like")]
         for po in ("none", "narrow", "flatten", "spire")

@@ -41,7 +41,7 @@ if not any(p == str(ROOT / "src") for p in sys.path):
 import numpy as np
 
 from repro import reference
-from repro.benchsuite import BenchmarkRunner
+from repro.benchsuite import ArtifactCache, BenchmarkRunner, paper_grid
 from repro.circuit import Circuit, cnot, h, t, tdg, to_clifford_t, toffoli
 from repro.circuit.statevector import run
 from repro.config import CompilerConfig
@@ -110,6 +110,46 @@ def _sim_circuits(mode: str):
     ]
 
 
+def _grid_section(mode: str) -> dict:
+    """Cold-vs-warm timings of the cache-backed grid runner (fig15 grid).
+
+    A cold sweep into a fresh artifact cache, then a warm replay through a
+    fresh runner sharing the cache: the replay must produce bit-identical
+    measurements and (outside quick mode) complete in under 10% of the
+    cold wall time.
+    """
+    import shutil
+    import tempfile
+
+    depths = [2, 3] if mode == "quick" else [2, 3, 4, 5, 6]
+    tasks = paper_grid("fig15", depths)
+    cache_dir = tempfile.mkdtemp(prefix="bench-perf-grid-")
+    try:
+        cold_s, cold = _timed(
+            BenchmarkRunner(CONFIG, cache=ArtifactCache(cache_dir)).run_grid, tasks
+        )
+        warm_s, warm = _timed(
+            BenchmarkRunner(CONFIG, cache=ArtifactCache(cache_dir)).run_grid, tasks
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    identical = all(
+        (a.get("t"), a.get("t_count"), a.get("mcx"), a.get("qubits"))
+        == (b.get("t"), b.get("t_count"), b.get("mcx"), b.get("qubits"))
+        for a, b in zip(cold.rows, warm.rows)
+    )
+    return {
+        "grid": "fig15",
+        "depths": depths,
+        "points": len(tasks),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_over_cold": round(warm_s / cold_s, 4) if cold_s else 0.0,
+        "identical_rows": identical,
+        "all_cached_on_warm": warm.cached_fraction() == 1.0,
+    }
+
+
 def collect(mode: str) -> dict:
     """Measure every point and return the report dict."""
     runner = BenchmarkRunner(CONFIG)
@@ -162,6 +202,7 @@ def collect(mode: str) -> dict:
         sim_seed += seed_s
         sim_new += new_s
 
+    report["grid"] = _grid_section(mode)
     report["summary"] = {
         "peephole_speedup": round(seed_totals["peephole"] / new_totals["peephole"], 2),
         "rotation_merge_speedup": round(
@@ -197,6 +238,11 @@ def _print_report(report: dict) -> None:
             f"simulate {entry['circuit']} ({entry['qubits']}q, {entry['gates']} gates): "
             f"{entry['speedup']}x"
         )
+    grid = report["grid"]
+    print(
+        f"grid {grid['grid']} ({grid['points']} points): cold {grid['cold_seconds']}s, "
+        f"warm {grid['warm_seconds']}s (ratio {grid['warm_over_cold']})"
+    )
     for key, value in report["summary"].items():
         print(f"  {key}: {value}")
 
@@ -205,6 +251,11 @@ def _check(report: dict) -> list:
     failures = []
     if not report["summary"]["all_outputs_identical"]:
         failures.append("vectorized output differs from seed output")
+    grid = report["grid"]
+    if not grid["identical_rows"]:
+        failures.append("warm grid replay differs from cold measurements")
+    if not grid["all_cached_on_warm"]:
+        failures.append("warm grid run had cold points (cache not replaying)")
     if report["mode"] == "quick":
         # CI smoke run: shared runners make wall-clock floors flaky, so the
         # quick mode only enforces the bit-for-bit output checks
@@ -212,6 +263,11 @@ def _check(report: dict) -> list:
     for key, floor in THRESHOLDS.items():
         if report["summary"][key] < floor:
             failures.append(f"{key} {report['summary'][key]} < {floor}")
+    if grid["warm_over_cold"] >= 0.10:
+        failures.append(
+            f"warm grid replay took {grid['warm_over_cold']:.2%} of the cold run "
+            "(>= 10%)"
+        )
     return failures
 
 

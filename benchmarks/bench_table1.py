@@ -5,6 +5,11 @@ T-complexity, the *empirical* fitted polynomial from compiled circuits, and
 the T-complexity after Spire's optimizations — checking the paper's headline
 rows: every non-constant benchmark's unoptimized T-complexity is exactly one
 degree above its MCX-complexity, and Spire recovers the MCX degree.
+
+The whole table is one ``table1`` grid over the paper's full depth range
+(2..10 for list/string benchmarks), fanned across workers and replayed from
+the artifact cache on re-runs; the cost-model predictions ride along in the
+measurement rows, so no point is compiled twice.
 """
 
 from __future__ import annotations
@@ -12,7 +17,8 @@ from __future__ import annotations
 import pytest
 from conftest import DEPTHS, TREE_DEPTHS, print_table
 
-from repro.cost import PaperCostModel, exact_counts, fit_report
+from repro.benchsuite import paper_grid
+from repro.cost import exact_counts, fit_report
 
 LINEAR = [
     "length",
@@ -28,31 +34,19 @@ LINEAR = [
 TREE = ["insert", "contains"]
 
 
-def _series(runner, name, depths, optimization, metric):
-    values = []
-    for depth in depths:
-        point = runner.measure(name, depth, optimization)
-        values.append(getattr(point, metric))
-    return fit_report(depths, values)
-
-
-def _predicted(runner, name, depths, metric):
-    values = []
-    for depth in depths:
-        cp = runner.compile(name, depth, "none")
-        model = PaperCostModel(cp.table, cp.var_types, cp.cell_bits)
-        values.append(model.c_mcx(cp.core) if metric == "mcx" else model.c_t(cp.core))
-    return fit_report(depths, values)
+def _fit(grid, name, depths, metric, optimization="none"):
+    return fit_report(list(depths), grid.series(name, depths, metric, optimization))
 
 
 def test_table1_linear_benchmarks(runner):
+    grid = runner.run_grid(paper_grid("table1", DEPTHS, TREE_DEPTHS))
     rows = []
     for name in LINEAR:
-        mcx = _series(runner, name, DEPTHS, "none", "mcx")
-        pred_mcx = _predicted(runner, name, DEPTHS, "mcx")
-        t_before = _series(runner, name, DEPTHS, "none", "t")
-        pred_t = _predicted(runner, name, DEPTHS, "t")
-        t_after = _series(runner, name, DEPTHS, "spire", "t")
+        mcx = _fit(grid, name, DEPTHS, "mcx")
+        pred_mcx = _fit(grid, name, DEPTHS, "predicted_mcx")
+        t_before = _fit(grid, name, DEPTHS, "t")
+        pred_t = _fit(grid, name, DEPTHS, "predicted_t")
+        t_after = _fit(grid, name, DEPTHS, "t", "spire")
         rows.append(
             [name, pred_mcx.big_o, mcx.polynomial, pred_t.big_o,
              t_before.polynomial, t_after.big_o, t_after.polynomial]
@@ -71,22 +65,24 @@ def test_table1_linear_benchmarks(runner):
 
 
 def test_table1_pop_front_constant(runner):
-    before = runner.measure("pop_front", None, "none")
-    after = runner.measure("pop_front", None, "spire")
+    grid = runner.run_grid(paper_grid("table1", DEPTHS, TREE_DEPTHS))
+    before = grid.measure("pop_front", None, "none")
+    after = grid.measure("pop_front", None, "spire")
     print_table(
         "Table 1 (pop_front row)",
         ["program", "MCX", "T before", "T after"],
-        [["pop_front", before.mcx, before.t, after.t]],
+        [["pop_front", before["mcx"], before["t"], after["t"]]],
     )
-    assert before.t == after.t  # O(1), no control flow to optimize
+    assert before["t"] == after["t"]  # O(1), no control flow to optimize
 
 
 def test_table1_tree_benchmarks(runner):
+    grid = runner.run_grid(paper_grid("table1", DEPTHS, TREE_DEPTHS))
     rows = []
     for name in TREE:
-        mcx = _series(runner, name, TREE_DEPTHS, "none", "mcx")
-        t_before = _series(runner, name, TREE_DEPTHS, "none", "t")
-        t_after = _series(runner, name, TREE_DEPTHS, "spire", "t")
+        mcx = _fit(grid, name, TREE_DEPTHS, "mcx")
+        t_before = _fit(grid, name, TREE_DEPTHS, "t")
+        t_after = _fit(grid, name, TREE_DEPTHS, "t", "spire")
         rows.append([name, mcx.big_o, t_before.big_o, t_after.big_o])
         assert mcx.degree == 2, name
         assert t_before.degree == 3, name

@@ -75,11 +75,16 @@ def test_table4_uncomputation_share(runner):
 
 
 def test_table4_qubit_counts(runner):
+    from repro.benchsuite import measure_tasks
+
+    grid = runner.run_grid(
+        measure_tasks(PROGRAMS, [2, DEPTHS[-1]], ["none", "spire"])
+    )
     rows = []
     for name in PROGRAMS:
         for depth in (2, DEPTHS[-1]):
-            plain = runner.compile(name, depth, "none").num_qubits()
-            spire = runner.compile(name, depth, "spire").num_qubits()
+            plain = grid.measure(name, depth, "none")["qubits"]
+            spire = grid.measure(name, depth, "spire")["qubits"]
             rows.append([name, depth, plain, spire, spire - plain])
             # Appendix F: flattening introduces at most O(1) extra qubits
             # per conditional level (our allocator parks flattening

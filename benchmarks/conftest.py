@@ -1,35 +1,67 @@
 """Shared configuration for the experiment benchmarks.
 
 Each ``bench_*.py`` module regenerates one table or figure of the paper's
-evaluation.  The recursion-depth ranges default to smaller values than the
-paper's 2..10 so the whole harness completes in minutes of pure Python;
-set ``REPRO_FULL=1`` in the environment for the full ranges.
+evaluation through the shared grid runner (:mod:`repro.benchsuite.parallel`):
+tasks fan out across ``REPRO_JOBS`` worker processes and every point is
+persisted in an on-disk artifact cache, so the full paper depth ranges run
+cold exactly once and replay in seconds afterwards.
+
+Environment knobs:
+
+* ``REPRO_JOBS`` — worker processes for grid fan-out (default: CPU count);
+* ``REPRO_CACHE_DIR`` — artifact cache location (default:
+  ``<repo>/.bench-cache``); delete it (or bump the package version) to
+  force a cold re-run.
 """
 
 from __future__ import annotations
 
 import os
+import pathlib
 
 import pytest
 
-from repro.benchsuite import BenchmarkRunner
+from repro.benchsuite import (
+    ArtifactCache,
+    BenchmarkRunner,
+    CachedBackend,
+    ParallelBackend,
+    default_depths,
+)
 from repro.config import CompilerConfig
-
-FULL = os.environ.get("REPRO_FULL") == "1"
 
 #: benchmark config: small words keep pure-Python circuits tractable
 CONFIG = CompilerConfig(word_width=3, addr_width=3, heap_cells=6)
 
-#: depth range for list/string benchmarks (paper: 2..10)
-DEPTHS = list(range(2, 11)) if FULL else list(range(2, 7))
+#: depth range for list/string benchmarks: the paper's full 2..10
+DEPTHS = default_depths()
 
 #: depth range for the tree benchmarks (compile time grows as d^2)
-TREE_DEPTHS = list(range(2, 9)) if FULL else list(range(2, 6))
+TREE_DEPTHS = list(range(2, 9))
+
+CACHE_DIR = pathlib.Path(
+    os.environ.get(
+        "REPRO_CACHE_DIR",
+        pathlib.Path(__file__).resolve().parent.parent / ".bench-cache",
+    )
+)
+
+JOBS = int(os.environ.get("REPRO_JOBS", os.cpu_count() or 1))
+
+
+def make_runner(config: CompilerConfig = CONFIG) -> BenchmarkRunner:
+    """A cache-backed runner; parallel fan-out when more than one job."""
+    cache = ArtifactCache(CACHE_DIR)
+    if JOBS > 1:
+        backend = ParallelBackend(jobs=JOBS, cache=cache)
+    else:
+        backend = CachedBackend(cache)
+    return BenchmarkRunner(config, cache=cache, backend=backend)
 
 
 @pytest.fixture(scope="session")
 def runner() -> BenchmarkRunner:
-    return BenchmarkRunner(CONFIG)
+    return make_runner()
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -43,6 +43,7 @@ Quickstart::
     print(plain.t_complexity(), "->", spire.t_complexity())
 """
 
+from ._version import __version__
 from .benchsuite import BenchmarkRunner, HeapImage
 from .circopt import get_optimizer, optimizer_names
 from .circuit import Circuit, Gate, GateKind, to_clifford_t, to_toffoli
@@ -58,8 +59,6 @@ from .cost import (
 from .errors import ReproError
 from .lang import lower_source, parse_program
 from .opt import flatten_only, narrow_only, spire_optimize
-
-__version__ = "1.0.0"
 
 __all__ = [
     "BenchmarkRunner",

@@ -1,0 +1,9 @@
+"""Package version, in a leaf module so any submodule can import it.
+
+The artifact cache keys every stored measurement on this value
+(:mod:`repro.benchsuite.cache`), so bumping the version invalidates all
+cached evaluation artifacts — importing it from ``repro`` directly would
+cycle during package initialization.
+"""
+
+__version__ = "1.1.0"

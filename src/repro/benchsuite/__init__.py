@@ -1,18 +1,56 @@
 """Benchmark programs (Table 1) and the experiment harness."""
 
+from .cache import ArtifactCache, task_key
 from .memory_images import HeapImage, decode_list_from_memory
+from .parallel import (
+    BASELINE_OPTIMIZERS,
+    CachedBackend,
+    ExecutionBackend,
+    GRID_SELECTORS,
+    GridResult,
+    GridTask,
+    LINEAR_BENCHMARKS,
+    ParallelBackend,
+    SerialBackend,
+    make_backend,
+    measure_tasks,
+    optimizer_tasks,
+    paper_grid,
+)
 from .programs import ENTRIES, SOURCES, TREE_BENCHMARKS, UNSIZED
-from .runner import BenchmarkPoint, BenchmarkRunner, ScalingResult, default_depths
+from .runner import (
+    BenchmarkPoint,
+    BenchmarkRunner,
+    OptimizerPoint,
+    ScalingResult,
+    default_depths,
+)
 
 __all__ = [
+    "ArtifactCache",
+    "task_key",
     "HeapImage",
     "decode_list_from_memory",
     "ENTRIES",
     "SOURCES",
     "TREE_BENCHMARKS",
     "UNSIZED",
+    "LINEAR_BENCHMARKS",
+    "BASELINE_OPTIMIZERS",
+    "GRID_SELECTORS",
     "BenchmarkPoint",
+    "OptimizerPoint",
     "BenchmarkRunner",
     "ScalingResult",
     "default_depths",
+    "ExecutionBackend",
+    "SerialBackend",
+    "CachedBackend",
+    "ParallelBackend",
+    "make_backend",
+    "GridTask",
+    "GridResult",
+    "measure_tasks",
+    "optimizer_tasks",
+    "paper_grid",
 ]

@@ -1,0 +1,220 @@
+"""Content-addressed on-disk cache for benchmark evaluation artifacts.
+
+The paper's evaluation sweeps every benchmark across depths 2..10, four
+optimization levels and five circuit-optimizer baselines.  Reproducing a
+table re-compiles and re-expands the same circuits from scratch; this
+module makes every grid point a one-time cost.
+
+An :class:`ArtifactCache` maps a *task key* to two artifacts:
+
+* ``point.json`` — the measurement row (counts, timings, metadata);
+* ``circuit.rqcs`` — the compiled circuit as a binary GateStream snapshot
+  (:mod:`repro.circuit.snapshot`), stored for compile tasks so optimizer
+  baselines can skip recompilation even in a cold process.
+
+The key is a SHA-256 over the complete provenance of the artifact:
+
+* the SHA-256 of the benchmark's Tower **source text**,
+* the entry function name,
+* every :class:`~repro.config.CompilerConfig` field,
+* the recursion depth and program-level optimization,
+* the circuit-optimizer name and its parameters (``None`` for compiles),
+* the package version, the snapshot format version, and a
+  :func:`code_fingerprint` of the installed ``repro`` package source —
+  so editing the compiler or an optimizer during development invalidates
+  every measurement it could have changed, not just on release bumps.
+
+Changing any component — editing a benchmark program, widening a word,
+patching an optimizer, upgrading the package — therefore misses cleanly
+instead of serving a stale artifact.  Entries are immutable once written;
+writes go through a temp file + :func:`os.replace` so concurrent grid
+workers sharing one cache directory never observe a partial artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .._version import __version__
+from ..circuit.circuit import Circuit
+from ..circuit import snapshot
+from ..config import CompilerConfig
+
+POINT_FILE = "point.json"
+CIRCUIT_FILE = "circuit.rqcs"
+
+
+def source_sha(source: str) -> str:
+    """SHA-256 of a benchmark's Tower source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Part of every cache key: measurements depend on the compiler and
+    optimizer *implementations*, not just on the benchmark source and the
+    package version, and during development the version never moves.
+    Computed once per process (~90 small files).
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def task_key(
+    *,
+    source: str,
+    entry: str,
+    config: CompilerConfig,
+    depth: Optional[int],
+    optimization: str = "none",
+    optimizer: Optional[str] = None,
+    params: Optional[Dict[str, Any]] = None,
+    version: str = __version__,
+    code: Optional[str] = None,
+) -> str:
+    """The content address of one grid point (hex SHA-256)."""
+    blob = json.dumps(
+        {
+            "source_sha": source_sha(source),
+            "entry": entry,
+            "config": asdict(config),
+            "depth": depth,
+            "optimization": optimization,
+            "optimizer": optimizer,
+            "params": sorted((params or {}).items()),
+            "version": version,
+            "code": code if code is not None else code_fingerprint(),
+            "snapshot_format": snapshot.FORMAT_VERSION,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ArtifactCache:
+    """On-disk artifact store, safe to share between processes.
+
+    Layout: ``<root>/<key[:2]>/<key[2:]>/{point.json, circuit.rqcs}``.
+    The two-level fanout keeps directory listings short on full-grid
+    sweeps (hundreds of entries).
+    """
+
+    def __init__(
+        self, root: Union[str, Path], version: str = __version__
+    ) -> None:
+        self.root = Path(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ keys
+    def key(self, **kwargs: Any) -> str:
+        """:func:`task_key` bound to this cache's package version."""
+        kwargs.setdefault("version", self.version)
+        return task_key(**kwargs)
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key[2:]
+
+    # ---------------------------------------------------------------- points
+    def load_point(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored measurement row, or ``None`` on a miss."""
+        path = self._entry_dir(key) / POINT_FILE
+        try:
+            row = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def store_point(self, key: str, row: Dict[str, Any]) -> None:
+        """Persist a measurement row (atomic; last writer wins)."""
+        self._atomic_write(
+            self._entry_dir(key) / POINT_FILE,
+            (json.dumps(row, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    # -------------------------------------------------------------- circuits
+    def load_circuit(self, key: str) -> Optional[Circuit]:
+        """The stored compiled circuit, or ``None`` on a miss."""
+        path = self._entry_dir(key) / CIRCUIT_FILE
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return snapshot.load_bytes(data)
+        except snapshot.SnapshotError:
+            # a torn or stale blob is a miss, not an error
+            return None
+
+    def store_circuit(self, key: str, circuit: Circuit) -> None:
+        """Persist a compiled circuit snapshot (atomic)."""
+        self._atomic_write(
+            self._entry_dir(key) / CIRCUIT_FILE, snapshot.dump_bytes(circuit)
+        )
+
+    # ------------------------------------------------------------- internals
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -------------------------------------------------------------- plumbing
+    def __len__(self) -> int:
+        """Number of stored grid points."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob(f"*/*/{POINT_FILE}"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of points removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*"):
+            if not entry.is_dir():
+                continue
+            for name in (POINT_FILE, CIRCUIT_FILE):
+                try:
+                    (entry / name).unlink()
+                    removed += name == POINT_FILE
+                except OSError:
+                    pass
+            try:
+                entry.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Session hit/miss counters plus the stored entry count."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArtifactCache {self.root} ({self.hits} hits, {self.misses} misses)>"

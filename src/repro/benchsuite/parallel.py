@@ -1,0 +1,460 @@
+"""Parallel, cache-backed grid execution for the paper's evaluation sweeps.
+
+The evaluation is a product grid — benchmark × depth × optimization level
+× circuit-optimizer baseline — whose points are independent of each other.
+This module fans that product across processes and/or replays it from the
+on-disk :class:`~repro.benchsuite.cache.ArtifactCache`:
+
+* :class:`GridTask` / :class:`GridResult` — the unit of work and the
+  indexed result set (JSON-ready rows);
+* :class:`SerialBackend` — in-process loop (the reference semantics);
+* :class:`CachedBackend` — wraps another backend, attaching an artifact
+  cache to the runner for the duration of the sweep;
+* :class:`ParallelBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  fan-out with per-worker runner state and shared on-disk artifacts.
+
+Every backend produces **bit-identical measurement rows** for a given
+grid: workers run the same deterministic compile/optimize pipeline, and
+the cache replays stored rows verbatim (only ``cached``/``wall_seconds``
+differ, by construction).  ``tests/test_grid_harness.py`` asserts this
+against the recorded seed T-counts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import CompilerConfig
+from .cache import ArtifactCache
+from .programs import TREE_BENCHMARKS, UNSIZED
+
+#: progress callback: (done, total, row) -> None
+ProgressFn = Callable[[int, int, Dict[str, Any]], None]
+
+MEASURE = "measure"
+OPTIMIZE = "optimize"
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One point of the evaluation grid.
+
+    ``kind`` is ``"measure"`` (compile + metrics) or ``"optimize"`` (a
+    circuit-optimizer baseline on the compiled circuit).  ``params`` holds
+    optimizer keyword arguments as a sorted tuple of pairs so tasks stay
+    hashable and picklable.
+    """
+
+    kind: str
+    name: str
+    depth: Optional[int]
+    optimization: str = "none"
+    optimizer: Optional[str] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (MEASURE, OPTIMIZE):
+            raise ValueError(f"unknown grid task kind {self.kind!r}")
+        if self.kind == OPTIMIZE and not self.optimizer:
+            raise ValueError("optimize tasks need an optimizer name")
+
+    def label(self) -> str:
+        depth = "" if self.depth is None else f"@{self.depth}"
+        suffix = f" +{self.optimizer}" if self.optimizer else ""
+        return f"{self.name}{depth} [{self.optimization}]{suffix}"
+
+
+def measure_tasks(
+    names: Union[str, Sequence[str]],
+    depths: Sequence[Optional[int]],
+    optimizations: Union[str, Sequence[str]] = "none",
+) -> List[GridTask]:
+    """The measure product ``names × depths × optimizations``."""
+    if isinstance(names, str):
+        names = [names]
+    if isinstance(optimizations, str):
+        optimizations = [optimizations]
+    return [
+        GridTask(MEASURE, name, None if name in UNSIZED else depth, optimization)
+        for name in names
+        for depth in depths
+        for optimization in optimizations
+    ]
+
+
+def optimizer_tasks(
+    names: Union[str, Sequence[str]],
+    depths: Sequence[Optional[int]],
+    optimizers: Union[str, Sequence[str]],
+    optimizations: Union[str, Sequence[str]] = "none",
+    **params: Any,
+) -> List[GridTask]:
+    """The baseline product ``names × depths × optimizers × optimizations``."""
+    if isinstance(names, str):
+        names = [names]
+    if isinstance(optimizers, str):
+        optimizers = [optimizers]
+    if isinstance(optimizations, str):
+        optimizations = [optimizations]
+    packed = tuple(sorted(params.items()))
+    return [
+        GridTask(
+            OPTIMIZE,
+            name,
+            None if name in UNSIZED else depth,
+            optimization,
+            optimizer,
+            packed,
+        )
+        for name in names
+        for depth in depths
+        for optimization in optimizations
+        for optimizer in optimizers
+    ]
+
+
+class GridResult:
+    """Measurement rows of a grid sweep, indexed for table/figure assembly."""
+
+    def __init__(self, rows: List[Dict[str, Any]]) -> None:
+        self.rows = rows
+        self._measures: Dict[Tuple, Dict[str, Any]] = {}
+        self._optimized: Dict[Tuple, Dict[str, Any]] = {}
+        for row in rows:
+            if row.get("optimizer"):
+                key = (row["name"], row["depth"], row["optimizer"], row["optimization"])
+                self._optimized[key] = row
+            else:
+                self._measures[(row["name"], row["depth"], row["optimization"])] = row
+
+    def measure(
+        self, name: str, depth: Optional[int], optimization: str = "none"
+    ) -> Dict[str, Any]:
+        """The measure row of one (benchmark, depth, optimization) point."""
+        return self._measures[(name, None if name in UNSIZED else depth, optimization)]
+
+    def optimized(
+        self,
+        name: str,
+        depth: Optional[int],
+        optimizer: str,
+        optimization: str = "none",
+    ) -> Dict[str, Any]:
+        """The baseline row of one (benchmark, depth, optimizer) point."""
+        key = (name, None if name in UNSIZED else depth, optimizer, optimization)
+        return self._optimized[key]
+
+    def series(
+        self,
+        name: str,
+        depths: Sequence[int],
+        metric: str = "t",
+        optimization: str = "none",
+        optimizer: Optional[str] = None,
+    ) -> List[Any]:
+        """One metric across a depth range (a figure series / table column)."""
+        if optimizer is None:
+            return [self.measure(name, d, optimization)[metric] for d in depths]
+        return [
+            self.optimized(name, d, optimizer, optimization)[metric] for d in depths
+        ]
+
+    def cached_fraction(self) -> float:
+        """Share of rows that were replayed from the artifact cache."""
+        if not self.rows:
+            return 0.0
+        return sum(bool(r.get("cached")) for r in self.rows) / len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def execute_task(runner, task: GridTask) -> Dict[str, Any]:
+    """Run one grid task on a runner; returns the JSON-ready row."""
+    params = dict(task.params)
+    if task.kind == MEASURE:
+        return runner.measure(task.name, task.depth, task.optimization).row()
+    return runner.optimize_point(
+        task.name, task.depth, task.optimizer, task.optimization, **params
+    ).row()
+
+
+# ------------------------------------------------------------------ backends
+class ExecutionBackend:
+    """How a grid of tasks is turned into measurement rows."""
+
+    name = "abstract"
+
+    def run(
+        self, runner, tasks: List[GridTask], progress: Optional[ProgressFn] = None
+    ) -> List[Dict[str, Any]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process loop; the reference semantics every backend must match."""
+
+    name = "serial"
+
+    def run(self, runner, tasks, progress=None):
+        rows: List[Dict[str, Any]] = []
+        for i, task in enumerate(tasks):
+            row = execute_task(runner, task)
+            rows.append(row)
+            if progress is not None:
+                progress(i + 1, len(tasks), row)
+        return rows
+
+
+class CachedBackend(ExecutionBackend):
+    """Attach an artifact cache to the runner and delegate to another backend.
+
+    With no inner backend this is the ``cached`` serial mode: cold points
+    execute in-process and populate the cache; warm points replay from it.
+    """
+
+    name = "cached"
+
+    def __init__(
+        self,
+        cache: Union[ArtifactCache, str, os.PathLike],
+        inner: Optional[ExecutionBackend] = None,
+    ) -> None:
+        self.cache = cache if isinstance(cache, ArtifactCache) else ArtifactCache(cache)
+        self.inner = inner or SerialBackend()
+
+    def run(self, runner, tasks, progress=None):
+        previous = runner.cache
+        runner.cache = self.cache
+        try:
+            return self.inner.run(runner, tasks, progress=progress)
+        finally:
+            runner.cache = previous
+
+
+class ParallelBackend(ExecutionBackend):
+    """Fan the grid across a :class:`ProcessPoolExecutor`.
+
+    Each worker process holds one long-lived :class:`BenchmarkRunner`, so
+    per-process memoization (parsed programs, compiled circuits, the
+    shared decomposition cache) is preserved within a worker.  When a
+    cache directory is given, workers share artifacts through the
+    filesystem, and tasks run in two waves — measure tasks (which store
+    their compiled-circuit snapshots) before optimizer baselines (which
+    load them) — so a grid point's compile happens in exactly one worker.
+
+    Rows come back in task order regardless of completion order.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Union[ArtifactCache, str, os.PathLike, None] = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        if cache is not None and not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        self.cache = cache
+
+    def run(self, runner, tasks, progress=None):
+        cache = self.cache if self.cache is not None else runner.cache
+        if self.jobs == 1:
+            return CachedBackend(cache).run(runner, tasks, progress) \
+                if cache is not None else SerialBackend().run(runner, tasks, progress)
+        rows: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        done = 0
+        # parent-side replay: dispatch only cold tasks to the pool
+        pending: List[Tuple[int, GridTask]] = []
+        if cache is not None:
+            previous = runner.cache
+            runner.cache = cache
+            try:
+                for i, task in enumerate(tasks):
+                    lookup_start = time.perf_counter()
+                    key = runner._task_key(
+                        task.name,
+                        task.depth,
+                        task.optimization,
+                        optimizer=task.optimizer,
+                        params=dict(task.params),
+                    )
+                    row = cache.load_point(key)
+                    if row is None:
+                        pending.append((i, task))
+                    else:
+                        row = dict(row)
+                        row["cached"] = True
+                        # contract: wall_seconds is THIS call's wall clock
+                        row["wall_seconds"] = time.perf_counter() - lookup_start
+                        rows[i] = row
+                        done += 1
+                        if progress is not None:
+                            progress(done, len(tasks), row)
+            finally:
+                runner.cache = previous
+        else:
+            pending = list(enumerate(tasks))
+        if pending:
+            # With a shared cache, dispatch in two waves: measure tasks
+            # first (each stores its compiled-circuit snapshot), optimizer
+            # baselines second (each loads the snapshot instead of
+            # recompiling).  Submitting everything at once would hand a
+            # point's compile and its baselines to different idle workers
+            # simultaneously, duplicating the compile up to `jobs` times.
+            if cache is not None:
+                waves = [
+                    [(i, t) for i, t in pending if t.kind == MEASURE],
+                    [(i, t) for i, t in pending if t.kind != MEASURE],
+                ]
+                waves = [wave for wave in waves if wave]
+            else:
+                waves = [pending]
+            config_kwargs = asdict(runner.config)
+            cache_root = str(cache.root) if cache is not None else None
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(config_kwargs, cache_root, list(sys.path)),
+            ) as pool:
+                for wave in waves:
+                    futures = {
+                        pool.submit(_run_worker_task, task): i for i, task in wave
+                    }
+                    outstanding = set(futures)
+                    while outstanding:
+                        finished, outstanding = wait(
+                            outstanding, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            i = futures[future]
+                            rows[i] = future.result()
+                            done += 1
+                            if progress is not None:
+                                progress(done, len(tasks), rows[i])
+        return [row for row in rows if row is not None]
+
+
+#: worker-process state: one runner per (process, config)
+_WORKER_RUNNER = None
+
+
+def _init_worker(
+    config_kwargs: Dict[str, Any],
+    cache_root: Optional[str],
+    parent_path: List[str],
+) -> None:
+    """Build the worker's long-lived runner (start methods: fork or spawn)."""
+    for entry in reversed(parent_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from .runner import BenchmarkRunner  # after sys.path fix-up
+
+    global _WORKER_RUNNER
+    cache = ArtifactCache(cache_root) if cache_root else None
+    _WORKER_RUNNER = BenchmarkRunner(CompilerConfig(**config_kwargs), cache=cache)
+
+
+def _run_worker_task(task: GridTask) -> Dict[str, Any]:
+    return execute_task(_WORKER_RUNNER, task)
+
+
+def make_backend(
+    mode: str,
+    jobs: Optional[int] = None,
+    cache: Union[ArtifactCache, str, os.PathLike, None] = None,
+) -> ExecutionBackend:
+    """Build a backend by name: ``serial`` | ``cached`` | ``parallel``."""
+    if mode == "serial":
+        return SerialBackend()
+    if mode == "cached":
+        if cache is None:
+            raise ValueError("cached backend needs a cache directory")
+        return CachedBackend(cache)
+    if mode == "parallel":
+        return ParallelBackend(jobs=jobs, cache=cache)
+    raise ValueError(f"unknown backend mode {mode!r}")
+
+
+# --------------------------------------------------------------- paper grids
+#: list/queue/string benchmarks of Table 1 (linear MCX-complexity)
+LINEAR_BENCHMARKS = [
+    "length",
+    "length-simplified",
+    "sum",
+    "find_pos",
+    "remove",
+    "push_back",
+    "is_prefix",
+    "num_matching",
+    "compare",
+]
+
+#: the circuit-optimizer baselines swept by Figures 12/15/24
+BASELINE_OPTIMIZERS = ["peephole", "rotation-merge", "toffoli-cancel", "zx-like"]
+
+
+def paper_grid(
+    selector: str,
+    depths: Sequence[int],
+    tree_depths: Optional[Sequence[int]] = None,
+) -> List[GridTask]:
+    """The task grid behind one table/figure of the evaluation.
+
+    Selectors: ``fig2``, ``fig15``, ``fig24``, ``table1``, ``table2``,
+    ``smoke`` (a minutes-scale end-to-end slice used by CI).
+    """
+    if not depths:
+        raise ValueError("paper_grid needs a non-empty depth range")
+    tree_depths = list(tree_depths if tree_depths is not None else depths)
+    last = max(depths)
+    if selector == "fig2":
+        return measure_tasks("length", depths)
+    if selector == "fig15":
+        return (
+            measure_tasks(
+                "length-simplified", depths, ["none", "narrow", "flatten", "spire"]
+            )
+            + optimizer_tasks(
+                "length-simplified", depths, "toffoli-cancel", "spire"
+            )
+            + optimizer_tasks("length-simplified", depths, BASELINE_OPTIMIZERS)
+        )
+    if selector == "fig24":
+        opts = ["none", "narrow", "flatten", "spire"]
+        return measure_tasks("length-simplified", [last], opts) + optimizer_tasks(
+            "length-simplified", [last], ["toffoli-cancel", "zx-like"], opts
+        )
+    if selector == "table1":
+        return (
+            measure_tasks(LINEAR_BENCHMARKS, depths, ["none", "spire"])
+            + measure_tasks(TREE_BENCHMARKS, tree_depths, ["none", "spire"])
+            + measure_tasks("pop_front", [None], ["none", "spire"])
+        )
+    if selector == "table2":
+        programs = ["length-simplified", "length"]
+        return measure_tasks(programs, [last], ["none", "spire"]) + optimizer_tasks(
+            programs, [last], ["toffoli-cancel", "zx-like"], ["none", "spire"]
+        )
+    if selector == "smoke":
+        names = ["length", "length-simplified"]
+        small = sorted(depths)[:2]
+        return measure_tasks(names, small, ["none", "spire"]) + optimizer_tasks(
+            "length-simplified", small, ["peephole", "toffoli-cancel"]
+        )
+    raise ValueError(
+        f"unknown grid selector {selector!r}; "
+        "available: fig2, fig15, fig24, table1, table2, smoke"
+    )
+
+
+GRID_SELECTORS = ["fig2", "fig15", "fig24", "table1", "table2", "smoke"]

@@ -16,6 +16,7 @@ from .decompose import (
     to_toffoli,
 )
 from .gatestream import GateStream
+from .snapshot import SnapshotError, dump_bytes, load_bytes
 from .gates import (
     Gate,
     GateKind,
@@ -43,6 +44,9 @@ __all__ = [
     "Gate",
     "GateKind",
     "GateStream",
+    "SnapshotError",
+    "dump_bytes",
+    "load_bytes",
     "DecompositionCache",
     "expand_toffolis",
     "cnot",

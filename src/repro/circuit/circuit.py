@@ -75,9 +75,21 @@ class Circuit:
         self.gates.append(gate)
 
     def extend(self, gates: Iterable[Gate]) -> None:
-        """Append several gates."""
-        for gate in gates:
-            self.append(gate)
+        """Append several gates, growing the qubit count once for the batch.
+
+        Equivalent to repeated :meth:`append` but performs a single growth
+        update: million-gate extends (decomposition output, optimizer
+        rewrites) otherwise pay a per-gate bound check and method dispatch.
+        """
+        batch = list(gates)
+        top = -1
+        for gate in batch:
+            high = max(gate.qubits, default=-1)
+            if high > top:
+                top = high
+        if top >= self.num_qubits:
+            self.num_qubits = top + 1
+        self.gates.extend(batch)
 
     def add_register(self, register: Register) -> Register:
         """Record a named register; returns it for convenience."""

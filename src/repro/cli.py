@@ -7,12 +7,16 @@ Commands:
 * ``analyze`` — run the Section 5 cost model without building the circuit;
 * ``optimizers`` — run the circuit-optimizer baselines on the compiled
   circuit and compare T-counts;
-* ``resources`` — full resource report (T-count, T-depth, qubits).
+* ``resources`` — full resource report (T-count, T-depth, qubits);
+* ``bench`` — reproduce the paper's evaluation grids (tables/figures)
+  through the parallel, cache-backed grid runner, writing JSON artifacts.
 
-Example::
+Examples::
 
     python -m repro compile examples/length.twr --entry length --size 5 \\
         --optimize spire --emit out.qc
+    python -m repro bench --select fig15 table1 --jobs 8 \\
+        --cache-dir .bench-cache --out bench_artifacts
 """
 
 from __future__ import annotations
@@ -21,8 +25,9 @@ import argparse
 import sys
 from typing import Optional
 
+from ._version import __version__
 from .circopt import get_optimizer, optimizer_names
-from .circuit import qc_format
+from .circuit import DecompositionCache, qc_format
 from .compiler import compile_source
 from .config import CompilerConfig
 from .cost import PaperCostModel
@@ -95,16 +100,116 @@ def cmd_optimizers(args) -> int:
     compiled = compile_source(source, args.entry, args.size, _config(args), args.optimize)
     baseline = compiled.t_complexity()
     print(f"unoptimized T-complexity: {baseline}")
+    # one decomposition cache across all baselines: they expand the same
+    # compiled circuit, and the Clifford+T expansion dominates their cost
+    shared_cache = DecompositionCache()
     for name in optimizer_names():
         optimizer = (
             get_optimizer(name, timeout=args.timeout)
             if name == "greedy-search"
             else get_optimizer(name)
         )
+        optimizer.cache = shared_cache
         result = optimizer.optimize(compiled.circuit)
         reduction = 100 * (1 - result.t_count / baseline) if baseline else 0.0
         print(f"  {name:<16} T={result.t_count:<8} ({reduction:5.1f}% less) "
               f"in {result.seconds:.3f}s   [{optimizer.models}]")
+    return 0
+
+
+def _parse_depths(spec: str) -> list:
+    """Parse ``2..10`` or ``2,3,5`` into a depth list."""
+    if ".." in spec:
+        lo, hi = spec.split("..", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(part) for part in spec.split(",") if part]
+
+
+def cmd_bench(args) -> int:
+    import json
+    import pathlib
+    import time
+
+    from .benchsuite import (
+        ArtifactCache,
+        BenchmarkRunner,
+        GRID_SELECTORS,
+        make_backend,
+        paper_grid,
+    )
+    from .benchsuite.runner import default_depths
+
+    config = _config(args)
+    selectors = list(args.select or [])
+    if args.smoke and "smoke" not in selectors:
+        selectors.append("smoke")
+    if not selectors:
+        selectors = [s for s in GRID_SELECTORS if s != "smoke"]
+    depths = _parse_depths(args.depths) if args.depths else default_depths()
+    tree_depths = (
+        _parse_depths(args.tree_depths) if args.tree_depths else list(range(2, 9))
+    )
+    if not depths or not tree_depths:
+        print("error: empty depth range (use e.g. --depths 2..10 or 2,4,6)",
+              file=sys.stderr)
+        return 2
+
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    if args.jobs > 1:
+        backend = make_backend("parallel", jobs=args.jobs, cache=cache)
+    elif cache is not None:
+        backend = make_backend("cached", cache=cache)
+    else:
+        backend = make_backend("serial")
+    runner = BenchmarkRunner(config, cache=cache, backend=backend)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    show = sys.stderr.isatty() and not args.quiet
+
+    def progress(done, total, row):
+        if show:
+            mark = " (cached)" if row.get("cached") else ""
+            print(f"\r[{done}/{total}] {row['name']}{mark}".ljust(60),
+                  end="", file=sys.stderr, flush=True)
+
+    all_cached = True
+    for selector in selectors:
+        tasks = paper_grid(selector, depths, tree_depths)
+        start = time.perf_counter()
+        result = runner.run_grid(tasks, progress=progress)
+        elapsed = time.perf_counter() - start
+        if show:
+            print(file=sys.stderr)
+        all_cached = all_cached and result.cached_fraction() == 1.0
+        artifact = {
+            "selector": selector,
+            "config": vars(config),
+            "depths": depths,
+            "tree_depths": tree_depths,
+            "jobs": args.jobs,
+            "backend": backend.name,
+            "package_version": __version__,
+            "elapsed_seconds": round(elapsed, 4),
+            "cached_fraction": round(result.cached_fraction(), 4),
+            "rows": result.rows,
+        }
+        path = out_dir / f"{selector}.json"
+        path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+        print(
+            f"{selector}: {len(result)} points in {elapsed:.2f}s "
+            f"({100 * result.cached_fraction():.0f}% cached) -> {path}"
+        )
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache {args.cache_dir}: {stats['entries']} entries, "
+            f"{stats['hits']} hits / {stats['misses']} misses this run"
+        )
+    if args.require_cached and not all_cached:
+        print("error: --require-cached set but some points were cold",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -143,6 +248,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_res)
     p_res.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
     p_res.set_defaults(func=cmd_resources)
+
+    p_bench = sub.add_parser(
+        "bench", help="reproduce the paper's evaluation grids (cached, parallel)"
+    )
+    from .benchsuite import GRID_SELECTORS
+
+    p_bench.add_argument(
+        "--select", nargs="+", metavar="GRID", choices=GRID_SELECTORS,
+        help="grids to run: " + " ".join(GRID_SELECTORS)
+             + " (default: every table/figure grid)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="run the minutes-scale CI smoke grid")
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the grid fan-out")
+    p_bench.add_argument("--cache-dir", default=None,
+                         help="artifact cache directory (enables warm replays)")
+    p_bench.add_argument("--out", default="bench_artifacts",
+                         help="directory for the per-grid JSON artifacts")
+    p_bench.add_argument("--depths", default=None,
+                         help="depth range, e.g. 2..10 or 2,4,6 (default: 2..10)")
+    p_bench.add_argument("--tree-depths", default=None,
+                         help="depth range for the tree benchmarks (default: 2..8)")
+    p_bench.add_argument("--require-cached", action="store_true",
+                         help="fail unless every point replays from the cache")
+    p_bench.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress output")
+    p_bench.add_argument("--word-width", type=int, default=3)
+    p_bench.add_argument("--addr-width", type=int, default=3)
+    p_bench.add_argument("--heap-cells", type=int, default=6)
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

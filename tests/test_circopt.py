@@ -188,7 +188,9 @@ class TestOptimizers:
         result = pre.optimize(cp.circuit)
         assert result.circuit.is_clifford_t()
 
+    @pytest.mark.slow
     def test_greedy_search_respects_budget(self, length_source):
+        # wall-clock-bounded search phase: slow tier (timing-dependent)
         cp = compile_source(length_source, "length", size=2, config=CFG)
         result = get_optimizer("greedy-search", timeout=0.2).optimize(cp.circuit)
         assert result.circuit.is_clifford_t()

@@ -1,0 +1,132 @@
+"""The parallel / cached grid paths are bit-identical to the serial path.
+
+Acceptance gate for the evaluation harness: whatever backend executes a
+grid point — in-process, replayed from the artifact cache, or in a worker
+process — the measurement must match the recorded seed T-counts in
+``tests/data/seed_tcounts.json`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.benchsuite import (
+    ArtifactCache,
+    BenchmarkRunner,
+    CachedBackend,
+    GridTask,
+    ParallelBackend,
+    SerialBackend,
+    measure_tasks,
+    optimizer_tasks,
+)
+from repro.config import CompilerConfig
+
+DATA = pathlib.Path(__file__).resolve().parent / "data" / "seed_tcounts.json"
+SEED = json.loads(DATA.read_text())
+CONFIG = CompilerConfig(**SEED["config"])
+
+#: a fast slice of the seed grid (small circuits; every optimizer kind)
+SAMPLE = [
+    ("length", 2, "peephole"),
+    ("length", 2, "rotation-merge"),
+    ("length", 2, "toffoli-cancel"),
+    ("length", 2, "zx-like"),
+    ("length-simplified", 3, "peephole"),
+    ("length-simplified", 3, "toffoli-cancel"),
+    ("sum", 2, "rotation-merge"),
+]
+
+TASKS = measure_tasks("length", [2, 3]) + [
+    GridTask("optimize", name, depth, "none", optimizer)
+    for name, depth, optimizer in SAMPLE
+]
+
+
+def seed_count(name, depth, optimizer) -> int:
+    return SEED["counts"][f"{name}|{depth}|{optimizer}"]
+
+
+def _strip_timing(row: dict) -> dict:
+    return {
+        k: v
+        for k, v in row.items()
+        if k not in ("compile_seconds", "wall_seconds", "seconds", "cached", "timings")
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    runner = BenchmarkRunner(CONFIG, backend=SerialBackend())
+    return runner.run_grid(TASKS).rows
+
+
+def test_serial_matches_seed(serial_rows):
+    by_key = {
+        (r["name"], r["depth"], r.get("optimizer")): r for r in serial_rows
+    }
+    for name, depth, optimizer in SAMPLE:
+        assert by_key[(name, depth, optimizer)]["t_count"] == seed_count(
+            name, depth, optimizer
+        )
+
+
+def test_cached_cold_and_warm_match_serial(tmp_path, serial_rows):
+    cache = ArtifactCache(tmp_path)
+    cold = BenchmarkRunner(CONFIG, backend=CachedBackend(cache)).run_grid(TASKS)
+    assert cold.cached_fraction() == 0.0
+    warm = BenchmarkRunner(CONFIG, backend=CachedBackend(cache)).run_grid(TASKS)
+    assert warm.cached_fraction() == 1.0
+    for reference, a, b in zip(serial_rows, cold.rows, warm.rows):
+        assert _strip_timing(a) == _strip_timing(reference)
+        assert _strip_timing(b) == _strip_timing(reference)
+        # a replay reports the cold run's stage timings, flagged as cached
+        assert b["cached"] and not a["cached"]
+        if "compile_seconds" in reference:
+            assert b["compile_seconds"] == a["compile_seconds"]
+        if "seconds" in reference and reference.get("optimizer"):
+            assert b["seconds"] == a["seconds"]
+
+
+def test_parallel_matches_serial(tmp_path, serial_rows):
+    backend = ParallelBackend(jobs=2, cache=ArtifactCache(tmp_path))
+    parallel = BenchmarkRunner(CONFIG, backend=backend).run_grid(TASKS)
+    assert len(parallel.rows) == len(serial_rows)
+    for reference, row in zip(serial_rows, parallel.rows):
+        assert _strip_timing(row) == _strip_timing(reference)
+    for name, depth, optimizer in SAMPLE:
+        assert parallel.optimized(name, depth, optimizer)["t_count"] == seed_count(
+            name, depth, optimizer
+        )
+
+
+def test_parallel_without_cache_matches_serial(serial_rows):
+    parallel = BenchmarkRunner(CONFIG, backend=ParallelBackend(jobs=2)).run_grid(
+        TASKS
+    )
+    for reference, row in zip(serial_rows, parallel.rows):
+        assert _strip_timing(row) == _strip_timing(reference)
+
+
+def test_optimizer_baseline_on_rehydrated_circuit(tmp_path):
+    """A cold process with a warm disk cache must reproduce seed T-counts
+    from the circuit snapshot alone (no recompilation)."""
+    cache = ArtifactCache(tmp_path)
+    warmup = BenchmarkRunner(CONFIG, cache=cache)
+    warmup.measure("length", 2)  # stores the compiled circuit snapshot
+    fresh = BenchmarkRunner(CONFIG, cache=cache)
+    point = fresh.optimize_point("length", 2, "peephole")
+    assert not fresh._compiled  # never compiled: circuit came from disk
+    assert point.t_count == seed_count("length", 2, "peephole")
+
+
+def test_unsized_benchmark_normalizes_depth(tmp_path):
+    runner = BenchmarkRunner(
+        CONFIG, backend=CachedBackend(ArtifactCache(tmp_path))
+    )
+    grid = runner.run_grid(measure_tasks("pop_front", [7]))
+    assert grid.measure("pop_front", None)["depth"] is None
+    assert grid.measure("pop_front", 7) is grid.measure("pop_front", None)
