@@ -12,12 +12,21 @@ from .parallel import (
     LINEAR_BENCHMARKS,
     ParallelBackend,
     SerialBackend,
+    fuzz_tasks,
     make_backend,
     measure_tasks,
     optimizer_tasks,
     paper_grid,
 )
-from .programs import ENTRIES, SOURCES, TREE_BENCHMARKS, UNSIZED
+from .programs import (
+    ENTRIES,
+    SOURCES,
+    TREE_BENCHMARKS,
+    UNSIZED,
+    get_entry,
+    get_source,
+    is_unsized,
+)
 from .runner import (
     BenchmarkPoint,
     BenchmarkRunner,
@@ -52,5 +61,9 @@ __all__ = [
     "GridResult",
     "measure_tasks",
     "optimizer_tasks",
+    "fuzz_tasks",
     "paper_grid",
+    "get_entry",
+    "get_source",
+    "is_unsized",
 ]

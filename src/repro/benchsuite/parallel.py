@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import CompilerConfig
 from .cache import ArtifactCache
-from .programs import TREE_BENCHMARKS, UNSIZED
+from .programs import TREE_BENCHMARKS, UNSIZED, is_unsized
 
 #: progress callback: (done, total, row) -> None
 ProgressFn = Callable[[int, int, Dict[str, Any]], None]
@@ -80,7 +80,7 @@ def measure_tasks(
     if isinstance(optimizations, str):
         optimizations = [optimizations]
     return [
-        GridTask(MEASURE, name, None if name in UNSIZED else depth, optimization)
+        GridTask(MEASURE, name, None if is_unsized(name) else depth, optimization)
         for name in names
         for depth in depths
         for optimization in optimizations
@@ -106,7 +106,7 @@ def optimizer_tasks(
         GridTask(
             OPTIMIZE,
             name,
-            None if name in UNSIZED else depth,
+            None if is_unsized(name) else depth,
             optimization,
             optimizer,
             packed,
@@ -136,7 +136,7 @@ class GridResult:
         self, name: str, depth: Optional[int], optimization: str = "none"
     ) -> Dict[str, Any]:
         """The measure row of one (benchmark, depth, optimization) point."""
-        return self._measures[(name, None if name in UNSIZED else depth, optimization)]
+        return self._measures[(name, None if is_unsized(name) else depth, optimization)]
 
     def optimized(
         self,
@@ -146,7 +146,7 @@ class GridResult:
         optimization: str = "none",
     ) -> Dict[str, Any]:
         """The baseline row of one (benchmark, depth, optimizer) point."""
-        key = (name, None if name in UNSIZED else depth, optimizer, optimization)
+        key = (name, None if is_unsized(name) else depth, optimizer, optimization)
         return self._optimized[key]
 
     def series(
@@ -403,6 +403,31 @@ LINEAR_BENCHMARKS = [
 BASELINE_OPTIMIZERS = ["peephole", "rotation-merge", "toffoli-cancel", "zx-like"]
 
 
+def fuzz_tasks(
+    seed: int = 0,
+    count: int = 24,
+    optimizations: Union[str, Sequence[str]] = ("none", "spire"),
+    optimizers: Sequence[str] = (),
+    max_depth: Optional[int] = None,
+) -> List[GridTask]:
+    """A grid of generated fuzz workloads (see :mod:`repro.fuzz`).
+
+    Each task's name is ``fuzz:<seed>:<index>``, which encodes the program
+    deterministically: every worker process and artifact cache synthesizes
+    the identical source from the name alone.  Generated programs run
+    through exactly the same measure/optimize machinery as the Table 1
+    benchmarks, giving the evaluation a second, shape-diverse workload
+    family.
+    """
+    from ..fuzz.generator import fuzz_name  # lazy: avoid import cycle
+
+    names = [fuzz_name(seed, index, max_depth) for index in range(count)]
+    tasks = measure_tasks(names, [None], optimizations)
+    if optimizers:
+        tasks += optimizer_tasks(names, [None], list(optimizers))
+    return tasks
+
+
 def paper_grid(
     selector: str,
     depths: Sequence[int],
@@ -451,10 +476,12 @@ def paper_grid(
         return measure_tasks(names, small, ["none", "spire"]) + optimizer_tasks(
             "length-simplified", small, ["peephole", "toffoli-cancel"]
         )
+    if selector == "fuzz":
+        return fuzz_tasks(optimizers=["peephole", "toffoli-cancel"])
     raise ValueError(
         f"unknown grid selector {selector!r}; "
-        "available: fig2, fig15, fig24, table1, table2, smoke"
+        "available: fig2, fig15, fig24, table1, table2, smoke, fuzz"
     )
 
 
-GRID_SELECTORS = ["fig2", "fig15", "fig24", "table1", "table2", "smoke"]
+GRID_SELECTORS = ["fig2", "fig15", "fig24", "table1", "table2", "smoke", "fuzz"]

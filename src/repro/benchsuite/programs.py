@@ -514,5 +514,44 @@ ENTRIES: Dict[str, str] = {
 #: Benchmarks whose entry point takes no recursion bound.
 UNSIZED: List[str] = ["pop_front"]
 
+
+def is_fuzz_name(name: str) -> bool:
+    """Whether a benchmark name denotes a generated fuzz workload."""
+    return name.startswith("fuzz:")
+
+
+def is_unsized(name: str) -> bool:
+    """Whether a benchmark's entry point takes no recursion bound.
+
+    Fuzz workloads always use an unsized ``main`` (recursion bounds are
+    baked into their call sites as constants), so they run at depth None.
+    """
+    return name in UNSIZED or is_fuzz_name(name)
+
+
+def get_source(name: str) -> str:
+    """Tower source of a benchmark, resolving generated fuzz workloads.
+
+    ``fuzz:<seed>:<index>[:<max_depth>]`` names synthesize their program
+    deterministically from the name itself, so grid workers and artifact
+    caches need no side channel to agree on the workload.
+    """
+    if name in SOURCES:
+        return SOURCES[name]
+    if is_fuzz_name(name):
+        from ..fuzz.generator import program_for_spec  # lazy: avoid cycle
+
+        return program_for_spec(name)[0]
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def get_entry(name: str) -> str:
+    """Entry-point function of a benchmark (``main`` for fuzz workloads)."""
+    if name in ENTRIES:
+        return ENTRIES[name]
+    if is_fuzz_name(name):
+        return "main"
+    raise KeyError(f"unknown benchmark {name!r}")
+
 #: Benchmarks measured in tree depth d (the set) rather than length n.
 TREE_BENCHMARKS: List[str] = ["insert", "contains"]

@@ -38,7 +38,7 @@ from ..cost.exact import exact_counts
 from ..cost.model import PaperCostModel
 from ..lang.parser import parse_program
 from .cache import ArtifactCache
-from .programs import ENTRIES, SOURCES, UNSIZED
+from .programs import ENTRIES, SOURCES, UNSIZED, get_entry, get_source, is_unsized
 
 
 @dataclass
@@ -128,20 +128,20 @@ class BenchmarkRunner:
 
     def program(self, name: str):
         if name not in self._programs:
-            self._programs[name] = parse_program(SOURCES[name])
+            self._programs[name] = parse_program(get_source(name))
         return self._programs[name]
 
     def compile(
         self, name: str, depth: Optional[int] = None, optimization: str = "none"
     ) -> CompiledProgram:
         """Compile a benchmark (cached)."""
-        if name in UNSIZED:
+        if is_unsized(name):
             depth = None
         key = (name, depth, optimization)
         if key not in self._compiled:
             self._compiled[key] = compile_program(
                 self.program(name),
-                ENTRIES[name],
+                get_entry(name),
                 size=depth,
                 config=self.config,
                 optimization=optimization,
@@ -158,8 +158,8 @@ class BenchmarkRunner:
         params: Optional[Dict[str, Any]] = None,
     ) -> str:
         return self.cache.key(
-            source=SOURCES[name],
-            entry=ENTRIES[name],
+            source=get_source(name),
+            entry=get_entry(name),
             config=self.config,
             depth=depth,
             optimization=optimization,
@@ -175,7 +175,7 @@ class BenchmarkRunner:
         A stable object is returned per (name, depth, optimization) so the
         shared :class:`DecompositionCache` keeps working across baselines.
         """
-        if name in UNSIZED:
+        if is_unsized(name):
             depth = None
         key = (name, depth, optimization)
         if key in self._compiled:
@@ -196,7 +196,7 @@ class BenchmarkRunner:
         self, name: str, depth: Optional[int] = None, optimization: str = "none"
     ) -> BenchmarkPoint:
         """Compile (or replay) one grid point and report its metrics."""
-        if name in UNSIZED:
+        if is_unsized(name):
             depth = None
         start = time.perf_counter()
         cache_key = None
@@ -298,7 +298,7 @@ class BenchmarkRunner:
         (``preprocess_only=True`` and the non-search baselines, which is
         all the paper grids use).
         """
-        if name in UNSIZED:
+        if is_unsized(name):
             depth = None
         start = time.perf_counter()
         cache_key = None

@@ -9,7 +9,11 @@ Commands:
   circuit and compare T-counts;
 * ``resources`` — full resource report (T-count, T-depth, qubits);
 * ``bench`` — reproduce the paper's evaluation grids (tables/figures)
-  through the parallel, cache-backed grid runner, writing JSON artifacts.
+  through the parallel, cache-backed grid runner, writing JSON artifacts;
+* ``fuzz`` — differential fuzzing: generated well-typed Tower programs
+  checked end-to-end (interpreter vs. circuit vs. statevector, reversal
+  round-trips, optimizer semantics and T-counts, exact cost model), with
+  deterministic seeds and automatic shrinking of failures.
 
 Examples::
 
@@ -17,6 +21,8 @@ Examples::
         --optimize spire --emit out.qc
     python -m repro bench --select fig15 table1 --jobs 8 \\
         --cache-dir .bench-cache --out bench_artifacts
+    python -m repro fuzz --seed 0 --count 200 --jobs 4 \\
+        --save-failures tests/corpus/cases
 """
 
 from __future__ import annotations
@@ -213,6 +219,111 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import time
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    from .fuzz import GenConfig, OracleConfig, check_generated, shrink
+    from .fuzz.corpus import CorpusCase, save_case
+    from .fuzz.generator import (
+        generate_program,
+        program_seed,
+        render_program,
+    )
+    from .fuzz.oracles import OracleFailure, run_oracles
+
+    gen = GenConfig().scaled(max_depth=args.max_depth)
+    cfg = OracleConfig(
+        check_optimizers=not args.no_optimizers,
+        n_inputs=args.inputs,
+    )
+    seeds = [program_seed(args.seed, index) for index in range(args.count)]
+    start = time.perf_counter()
+    deadline = start + args.time_budget if args.time_budget else None
+    reports = []
+    checked = 0
+    show = sys.stderr.isatty() and not args.quiet
+
+    def note(report):
+        nonlocal checked
+        checked += 1
+        reports.append(report)
+        if show:
+            mark = "ok" if report.ok else f"FAIL {report.oracle}"
+            print(f"\r[{checked}/{len(seeds)}] seed {report.seed}: {mark}".ljust(70),
+                  end="", file=sys.stderr, flush=True)
+
+    if args.jobs > 1:
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            outstanding = {
+                pool.submit(check_generated, seed, gen, cfg) for seed in seeds
+            }
+            try:
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        note(future.result())
+                    if deadline and time.perf_counter() > deadline:
+                        for future in outstanding:
+                            future.cancel()
+                        break
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+    else:
+        for seed in seeds:
+            note(check_generated(seed, gen, cfg))
+            if deadline and time.perf_counter() > deadline:
+                break
+    if show:
+        print(file=sys.stderr)
+
+    failures = [r for r in reports if not r.ok]
+    elapsed = time.perf_counter() - start
+    print(
+        f"fuzz: {len(reports) - len(failures)}/{len(reports)} programs passed "
+        f"all oracles in {elapsed:.1f}s "
+        f"(base seed {args.seed}, {args.jobs} jobs)"
+    )
+    for report in sorted(failures, key=lambda r: r.seed):
+        print(f"\nseed {report.seed}: {report.oracle}\n  {report.message}")
+        if report.oracle.startswith("crash[generate]"):
+            continue  # no program to shrink or save
+        program = generate_program(report.seed, gen, cfg.compiler)
+        if args.shrink:
+
+            def signature_of(candidate, _seed=report.seed):
+                try:
+                    run_oracles(candidate, "main", None, cfg, input_seed=_seed)
+                except OracleFailure as failure:
+                    return failure.oracle
+                except Exception:
+                    return None
+                return None
+
+            program, attempts = shrink(program, signature_of)
+            print(f"  shrunk after {attempts} oracle evaluations:")
+        source = render_program(program)
+        print("  " + "\n  ".join(source.rstrip().splitlines()))
+        if args.save_failures:
+            slug = "".join(
+                ch if ch.isalnum() or ch in "-_" else "-" for ch in report.oracle
+            ).strip("-")
+            case = CorpusCase(
+                name=f"seed{report.seed}-{slug}",
+                source=source,
+                oracle=report.oracle,
+                description=report.message or "",
+                seed=report.seed,
+                input_seed=report.seed,
+                compiler=vars(cfg.compiler),
+            )
+            path = save_case(case, args.save_failures)
+            print(f"  reproducer saved to {path}")
+    return 1 if failures else 0
+
+
 def cmd_resources(args) -> int:
     source = _read(args.file)
     compiled = compile_source(source, args.entry, args.size, _config(args), args.optimize)
@@ -278,6 +389,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--addr-width", type=int, default=3)
     p_bench.add_argument("--heap-cells", type=int, default=6)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs through every oracle",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed of the deterministic program sequence")
+    p_fuzz.add_argument("--count", type=int, default=100,
+                        help="number of programs to generate and check")
+    p_fuzz.add_argument("--max-depth", type=int, default=None,
+                        help="statement-nesting depth knob of the generator")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (programs are independent)")
+    p_fuzz.add_argument("--inputs", type=int, default=3,
+                        help="basis inputs simulated per program")
+    p_fuzz.add_argument("--shrink", action="store_true", default=True,
+                        help="minimize failing programs (default)")
+    p_fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                        help="report failures unshrunk")
+    p_fuzz.add_argument("--no-optimizers", action="store_true",
+                        help="skip the circuit-optimizer oracles (faster)")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        help="stop checking new programs after this many seconds")
+    p_fuzz.add_argument("--save-failures", metavar="DIR", default=None,
+                        help="write shrunk reproducers as corpus cases "
+                             "(e.g. tests/corpus/cases)")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-program progress output")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

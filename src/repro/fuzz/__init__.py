@@ -1,0 +1,56 @@
+"""Differential fuzzing subsystem: generated Tower workloads + semantic oracles.
+
+The pipeline has exactly one specification that every layer must agree on —
+the language semantics.  This package turns that observation into a test
+harness:
+
+* :mod:`.generator` — a seeded, type-directed random generator of
+  well-typed Tower surface programs (bounded recursion, nested control
+  flow, ``with`` scopes, tuples, pointers and guarded cleanup), plus a
+  renderer back to Tower source so every generated program also exercises
+  the lexer and parser;
+* :mod:`.oracles` — the differential checks run on each program:
+  IR interpreter vs. classical circuit simulation vs. (sparse and dense)
+  statevector simulation on basis states, ``I[I[s]] = s`` and reversal
+  round-trips, every circuit optimizer preserving semantics and never
+  increasing T-count, and the exact cost model matching measured counts;
+* :mod:`.shrink` — deterministic minimization of failing programs;
+* :mod:`.corpus` — serialized seeds and shrunk reproducers under
+  ``tests/corpus/``, replayed in CI on every push.
+
+Entry points: ``python -m repro fuzz`` (CLI) and the ``fuzz`` grid
+selector of :mod:`repro.benchsuite.parallel` (benchmark workloads).
+"""
+
+from .generator import (
+    DEFAULT_FUZZ_CONFIG,
+    GenConfig,
+    fuzz_name,
+    generate_program,
+    program_for_spec,
+    program_seed,
+    render_program,
+)
+from .oracles import OracleConfig, OracleFailure, OracleReport, check_generated, run_oracles
+from .shrink import shrink
+from .corpus import CorpusCase, load_corpus, replay_case, save_case
+
+__all__ = [
+    "DEFAULT_FUZZ_CONFIG",
+    "GenConfig",
+    "fuzz_name",
+    "generate_program",
+    "program_for_spec",
+    "program_seed",
+    "render_program",
+    "OracleConfig",
+    "OracleFailure",
+    "OracleReport",
+    "check_generated",
+    "run_oracles",
+    "shrink",
+    "CorpusCase",
+    "load_corpus",
+    "replay_case",
+    "save_case",
+]

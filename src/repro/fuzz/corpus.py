@@ -1,0 +1,96 @@
+"""The deterministic regression corpus under ``tests/corpus/``.
+
+Two kinds of artifacts live there:
+
+* ``seeds.json`` — a manifest of generator seeds (plus knobs) that the
+  fast test tier replays on every push.  Growing it is free: append an
+  entry; the generator is deterministic, so the workload never drifts.
+* ``cases/*.json`` — shrunk reproducers.  When a fuzz run finds a defect,
+  the minimized program is saved here (``python -m repro fuzz
+  --save-failures tests/corpus/cases``); after the fix lands, the case
+  stays as a permanent regression test replayed by the same tier.
+
+Cases store rendered Tower *source* (not pickled ASTs): the renderer/parser
+round-trip is itself oracle-checked, sources diff nicely in review, and a
+reproducer stays readable in twenty years.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import CompilerConfig
+from .generator import GenConfig
+from .oracles import OracleConfig, run_oracles
+
+
+@dataclass
+class CorpusCase:
+    """One checked-in reproducer."""
+
+    name: str
+    source: str
+    entry: str = "main"
+    size: Optional[int] = None
+    oracle: Optional[str] = None       #: the oracle it originally failed
+    description: str = ""
+    seed: Optional[int] = None         #: generator seed it was found with
+    input_seed: int = 0
+    compiler: Dict[str, Any] = field(default_factory=dict)
+
+    def compiler_config(self, default: CompilerConfig) -> CompilerConfig:
+        if not self.compiler:
+            return default
+        return CompilerConfig(**self.compiler)
+
+
+def save_case(case: CorpusCase, directory: os.PathLike) -> Path:
+    """Write one reproducer as pretty JSON (atomic, stable key order)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(asdict(case), indent=1, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_corpus(directory: os.PathLike) -> List[CorpusCase]:
+    """Every reproducer in a corpus directory, in stable name order."""
+    directory = Path(directory)
+    cases: List[CorpusCase] = []
+    if not directory.is_dir():
+        return cases
+    for path in sorted(directory.glob("*.json")):
+        cases.append(CorpusCase(**json.loads(path.read_text())))
+    return cases
+
+
+def replay_case(
+    case: CorpusCase, cfg: Optional[OracleConfig] = None
+) -> Dict[str, Any]:
+    """Re-run every oracle on a reproducer (raises OracleFailure if broken)."""
+    from ..lang.parser import parse_program
+
+    cfg = cfg or OracleConfig()
+    cfg = replace(cfg, compiler=case.compiler_config(cfg.compiler))
+    program = parse_program(case.source)
+    return run_oracles(
+        program, case.entry, case.size, cfg, input_seed=case.input_seed
+    )
+
+
+def load_seed_manifest(path: os.PathLike) -> List[Tuple[int, GenConfig]]:
+    """Parse ``seeds.json`` into (seed, generator knobs) pairs."""
+    data = json.loads(Path(path).read_text())
+    defaults = data.get("gen", {})
+    entries: List[Tuple[int, GenConfig]] = []
+    for entry in data["entries"]:
+        knobs = dict(defaults)
+        knobs.update({k: v for k, v in entry.items() if k != "seed"})
+        entries.append((int(entry["seed"]), GenConfig(**knobs)))
+    return entries

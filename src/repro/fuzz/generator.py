@@ -1,0 +1,764 @@
+"""Seeded, type-directed generator of well-typed Tower surface programs.
+
+The generator builds surface ASTs (not core IR) so that every layer of the
+pipeline — lexer, parser, desugarer/inliner, typechecker, Spire rewrites,
+register allocation, gate lowering, cost model — runs on each generated
+program.  Programs are *correct by construction* in a stronger sense than
+well-typed: every un-assignment provably restores its register to zero, so
+the aggressive register reuse of Appendix D is sound and the compiled
+circuit must agree bit-for-bit with the reference interpreter.  The
+disciplines that guarantee this:
+
+* a ``with`` body never modifies a variable its setup mentions, and never
+  touches the heap if the setup did (arbitrary pointer inputs may alias);
+* an ``if`` branch never modifies a variable the condition reads, and
+  never mentions the condition variable itself;
+* explicit uncompute pairs ``let t <- e; ...; let t -> e;`` freeze ``t``
+  and every variable ``e`` reads for the statements in between;
+* function bodies never modify their parameters (calls are inlined with
+  parameters aliased to caller registers), so calls and ``with``-scoped
+  call reversals are clean.
+
+Everything is driven by one ``random.Random(seed)``; the same seed and
+knobs always produce the identical program, which is what makes the corpus
+(:mod:`repro.fuzz.corpus`) and the ``fuzz:<seed>:<index>`` benchmark names
+(:func:`program_for_spec`) reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import CompilerConfig
+from ..lang.ast import (
+    EBin,
+    EBool,
+    ECall,
+    EDefault,
+    EInt,
+    ENull,
+    EPair,
+    EProj,
+    EUn,
+    EUnit,
+    EVar,
+    FunDef,
+    Program,
+    SExpr,
+    SHadamard,
+    SIf,
+    SizeExpr,
+    SLet,
+    SMemSwap,
+    SSkip,
+    SStmt,
+    SSwapS,
+    SWith,
+    TypeDef,
+)
+from ..types import (
+    BOOL,
+    UINT,
+    BoolT,
+    NamedT,
+    PtrT,
+    TupleT,
+    Type,
+    TypeTable,
+    UIntT,
+    UnitT,
+)
+
+#: compiler config used for fuzzing: heap_cells == 2**addr_width - 1, so
+#: every pointer bit pattern is a valid address and arbitrary basis inputs
+#: are legal machine states.
+DEFAULT_FUZZ_CONFIG = CompilerConfig(word_width=2, addr_width=2, heap_cells=3)
+
+#: the recursive list type shared with the paper's benchmarks
+LIST = NamedT("list")
+LIST_DECL = TupleT(UINT, PtrT(LIST))
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size/shape knobs of the generator (all deterministic given a seed)."""
+
+    max_depth: int = 3          #: nesting depth of if/with statements
+    max_block: int = 4          #: statements per block
+    max_expr_depth: int = 2     #: nesting depth of expressions
+    max_helpers: int = 2        #: non-recursive helper functions
+    recursion_prob: float = 0.6  #: probability of a recursive function
+    max_rec_bound: int = 3      #: recursion bound at the call site
+    heap: bool = True           #: allow pointer types and memory swaps
+    unit_prob: float = 0.05     #: probability of unit-typed locals
+    hadamard_prob: float = 0.0  #: H(x) statements (off: no classical oracle)
+
+    def scaled(self, max_depth: Optional[int] = None) -> "GenConfig":
+        return replace(self, max_depth=max_depth) if max_depth else self
+
+
+@dataclass(frozen=True)
+class FunInfo:
+    """Callable-function signature tracked during generation."""
+
+    name: str
+    param_types: Tuple[Type, ...]
+    return_type: Type
+    sized: bool
+
+
+class _Env:
+    """Variable environment plus the modification disciplines."""
+
+    def __init__(
+        self,
+        vars: Dict[str, Type],
+        frozen: Set[str],
+        unmentionable: Set[str],
+        heap_locked: bool,
+    ) -> None:
+        self.vars = vars
+        self.frozen = frozen
+        self.unmentionable = unmentionable
+        self.heap_locked = heap_locked
+
+    def child(
+        self,
+        extra_frozen: Set[str] = frozenset(),
+        extra_unmentionable: Set[str] = frozenset(),
+        heap_locked: Optional[bool] = None,
+        fork: bool = False,
+    ) -> "_Env":
+        """A nested environment.
+
+        With ``fork=False`` the variable dict is shared (declarations in the
+        child stay visible — ``with`` bodies and uncompute-pair middles run
+        unconditionally).  ``fork=True`` copies it: declarations inside an
+        ``if`` branch are *statically* visible afterwards but only
+        *dynamically* bound when the branch executed, so referencing them
+        outside would read registers the interpreter rightly rejects.
+        """
+        return _Env(
+            dict(self.vars) if fork else self.vars,
+            self.frozen | set(extra_frozen),
+            self.unmentionable | set(extra_unmentionable),
+            self.heap_locked if heap_locked is None else heap_locked,
+        )
+
+
+def expr_reads(e: SExpr) -> Set[str]:
+    """Every variable name a surface expression mentions."""
+    names: Set[str] = set()
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, EVar):
+            names.add(node.name)
+        elif isinstance(node, EPair):
+            stack.extend((node.first, node.second))
+        elif isinstance(node, EProj):
+            stack.append(node.expr)
+        elif isinstance(node, EUn):
+            stack.append(node.expr)
+        elif isinstance(node, EBin):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, ECall):
+            stack.extend(node.args)
+    return names
+
+
+class ProgramGenerator:
+    """One-shot generator: ``ProgramGenerator(seed, ...).generate()``."""
+
+    def __init__(
+        self,
+        seed: int,
+        gen: GenConfig = GenConfig(),
+        config: CompilerConfig = DEFAULT_FUZZ_CONFIG,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.gen = gen
+        self.config = config
+        self.table = TypeTable(config)
+        if gen.heap:
+            self.table.declare("list", LIST_DECL)
+        self._counter = 0
+        self.funs: List[FunInfo] = []
+        self.fundefs: List[FunDef] = []
+
+    # ------------------------------------------------------------- utilities
+    def fresh(self, prefix: str = "v") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _type_pool(self, include_unit: bool = True) -> List[Type]:
+        pool: List[Type] = [
+            UINT,
+            UINT,
+            BOOL,
+            BOOL,
+            TupleT(UINT, BOOL),
+            TupleT(BOOL, BOOL),
+        ]
+        if self.gen.heap:
+            pool += [PtrT(UINT), LIST, PtrT(LIST)]
+        if include_unit and self.rng.random() < self.gen.unit_prob:
+            pool.append(UnitT())
+        return pool
+
+    def pick_type(self, include_unit: bool = True) -> Type:
+        return self.rng.choice(self._type_pool(include_unit))
+
+    def _vars_of(self, env: _Env, ty: Type, avoid: Set[str]) -> List[str]:
+        return [
+            n
+            for n, t in env.vars.items()
+            if n not in avoid
+            and n not in env.unmentionable
+            and self.table.equal(t, ty)
+        ]
+
+    def _modifiable(self, env: _Env, ty: Optional[Type] = None) -> List[str]:
+        return [
+            n
+            for n, t in env.vars.items()
+            if n not in env.frozen
+            and n not in env.unmentionable
+            and (ty is None or self.table.equal(t, ty))
+        ]
+
+    # ------------------------------------------------------------ expressions
+    def expr(self, env: _Env, ty: Type, depth: int, avoid: Set[str]) -> SExpr:
+        """A random well-typed expression of type ``ty`` not reading ``avoid``."""
+        resolved = self.table.resolve(ty)
+        options = []
+
+        variables = self._vars_of(env, ty, avoid)
+        if variables:
+            options += [lambda: EVar(self.rng.choice(variables))] * 3
+        options.extend(self._proj_options(env, resolved, avoid))
+
+        if isinstance(resolved, BoolT):
+            options.append(lambda: EBool(self.rng.random() < 0.5))
+            if depth > 0:
+                options += self._bool_options(env, depth, avoid)
+        elif isinstance(resolved, UIntT):
+            word = self.config.word_width
+            options.append(lambda: EInt(self.rng.randrange(1 << word)))
+            if depth > 0:
+                options.append(
+                    lambda: EBin(
+                        self.rng.choice(["+", "-", "*"]),
+                        self.expr(env, UINT, depth - 1, avoid),
+                        self.expr(env, UINT, depth - 1, avoid),
+                    )
+                )
+        elif isinstance(resolved, PtrT):
+            options.append(lambda: EDefault(ty))
+        elif isinstance(resolved, TupleT):
+            options.append(lambda: EDefault(ty))
+            if depth > 0:
+                options.append(
+                    lambda: EPair(
+                        self.expr(env, resolved.first, depth - 1, avoid),
+                        self.expr(env, resolved.second, depth - 1, avoid),
+                    )
+                )
+        elif isinstance(resolved, UnitT):
+            options.append(lambda: EUnit())
+        return self.rng.choice(options)()
+
+    def _proj_options(self, env: _Env, resolved: Type, avoid: Set[str]):
+        """Projections ``x.1``/``x.2`` from tuple variables of component type."""
+        options = []
+        for name, vty in env.vars.items():
+            if name in avoid or name in env.unmentionable:
+                continue
+            vres = self.table.resolve(vty)
+            if not isinstance(vres, TupleT):
+                continue
+            for index, comp in ((1, vres.first), (2, vres.second)):
+                if self.table.equal(comp, resolved):
+                    options.append(
+                        lambda n=name, i=index: EProj(EVar(n), i)
+                    )
+        return options
+
+    def _bool_options(self, env: _Env, depth: int, avoid: Set[str]):
+        options = [
+            lambda: EUn("not", self.expr(env, BOOL, depth - 1, avoid)),
+            lambda: EBin(
+                self.rng.choice(["&&", "||", "==", "!="]),
+                self.expr(env, BOOL, depth - 1, avoid),
+                self.expr(env, BOOL, depth - 1, avoid),
+            ),
+            lambda: EBin(
+                self.rng.choice(["==", "!=", "<", ">"]),
+                self.expr(env, UINT, depth - 1, avoid),
+                self.expr(env, UINT, depth - 1, avoid),
+            ),
+            lambda: EUn("test", self.expr(env, UINT, depth - 1, avoid)),
+        ]
+        # pointer tests and null comparisons, when a pointer variable exists
+        for pty in (PtrT(UINT), PtrT(LIST)) if self.gen.heap else ():
+            pvars = self._vars_of(env, pty, avoid)
+            if pvars:
+                options.append(
+                    lambda vs=pvars: EUn("test", EVar(self.rng.choice(vs)))
+                )
+                options.append(
+                    lambda vs=pvars: EBin(
+                        self.rng.choice(["==", "!="]),
+                        EVar(self.rng.choice(vs)),
+                        ENull(),
+                    )
+                )
+        return options
+
+    # ------------------------------------------------------------ statements
+    def block(self, env: _Env, depth: int, min_size: int = 1) -> List[SStmt]:
+        stmts: List[SStmt] = []
+        for _ in range(self.rng.randint(min_size, self.gen.max_block)):
+            stmts.extend(self.stmt(env, depth))
+        return stmts
+
+    def stmt(self, env: _Env, depth: int) -> List[SStmt]:
+        """One statement (an uncompute pair may expand to several)."""
+        weighted = [(self._gen_fresh_let, 5), (self._gen_redeclare, 2)]
+        if depth > 0:
+            weighted += [
+                (self._gen_if, 3),
+                (self._gen_with, 3),
+                (self._gen_pair, 2),
+            ]
+        weighted += [(self._gen_swap, 2), (self._gen_memswap, 2)]
+        if self.funs:
+            weighted.append((self._gen_call, 3))
+        if self.gen.hadamard_prob > 0:
+            weighted.append((self._gen_hadamard, 1))
+        weighted.append((self._gen_skip, 1))
+        choices = [fn for fn, w in weighted for _ in range(w)]
+        # applicability is probed in order; every generator returns None when
+        # its preconditions fail, so a statement is always produced (fresh
+        # lets never fail).
+        for _ in range(8):
+            result = self.rng.choice(choices)(env, depth)
+            if result is not None:
+                return result
+        return self._gen_fresh_let(env, depth)
+
+    def _gen_skip(self, env: _Env, depth: int):
+        return [SSkip()]
+
+    def _gen_fresh_let(self, env: _Env, depth: int):
+        name = self.fresh()
+        ty = self.pick_type()
+        expr = self.expr(env, ty, self.gen.max_expr_depth, {name})
+        env.vars[name] = ty
+        return [SLet(name, expr, True)]
+
+    def _gen_redeclare(self, env: _Env, depth: int):
+        targets = self._modifiable(env)
+        if not targets:
+            return None
+        name = self.rng.choice(targets)
+        expr = self.expr(env, env.vars[name], self.gen.max_expr_depth, {name})
+        return [SLet(name, expr, True)]
+
+    def _gen_swap(self, env: _Env, depth: int):
+        targets = self._modifiable(env)
+        for _ in range(4):
+            if len(targets) < 2:
+                return None
+            left = self.rng.choice(targets)
+            partners = [
+                n
+                for n in targets
+                if n != left and self.table.equal(env.vars[n], env.vars[left])
+            ]
+            if partners:
+                return [SSwapS(left, self.rng.choice(partners))]
+        return None
+
+    def _gen_memswap(self, env: _Env, depth: int):
+        if not self.gen.heap or env.heap_locked:
+            return None
+        pointers = [
+            n
+            for n, t in env.vars.items()
+            if n not in env.unmentionable
+            and isinstance(self.table.resolve(t), PtrT)
+        ]
+        self.rng.shuffle(pointers)
+        for pointer in pointers:
+            elem = self.table.resolve(env.vars[pointer]).elem
+            values = [
+                v for v in self._modifiable(env, elem) if v != pointer
+            ]
+            if values:
+                return [SMemSwap(pointer, self.rng.choice(values))]
+        return None
+
+    def _gen_hadamard(self, env: _Env, depth: int):
+        if self.rng.random() >= self.gen.hadamard_prob:
+            return None
+        targets = self._modifiable(env, BOOL)
+        if not targets:
+            return None
+        return [SHadamard(self.rng.choice(targets))]
+
+    def _gen_if(self, env: _Env, depth: int):
+        bool_vars = self._vars_of(env, BOOL, set())
+        if bool_vars and self.rng.random() < 0.5:
+            cond_var = self.rng.choice(bool_vars)
+            cond: SExpr = EVar(cond_var)
+            unmentionable = {cond_var}
+            frozen: Set[str] = set()
+        else:
+            cond = self.expr(env, BOOL, self.gen.max_expr_depth, set())
+            if isinstance(cond, EVar):
+                unmentionable = {cond.name}
+                frozen = set()
+            else:
+                unmentionable = set()
+                frozen = expr_reads(cond)
+        then_env = env.child(frozen, unmentionable, fork=True)
+        then = tuple(self.block(then_env, depth - 1))
+        otherwise = None
+        if self.rng.random() < 0.6:
+            else_env = env.child(frozen, unmentionable, fork=True)
+            otherwise = tuple(self.block(else_env, depth - 1))
+        return [SIf(cond, then, otherwise)]
+
+    def _gen_with(self, env: _Env, depth: int):
+        setup: List[SStmt] = []
+        mentioned: Set[str] = set()
+        declared: List[str] = []
+        heap_used = False
+        for _ in range(self.rng.randint(1, 2)):
+            roll = self.rng.random()
+            produced: Optional[List[SStmt]] = None
+            if roll < 0.25 and not env.heap_locked:
+                produced = self._gen_memswap(env, 0)
+                if produced is not None:
+                    heap_used = True
+            elif roll < 0.45 and self.funs:
+                produced = self._gen_call(env, 0)
+                if produced is not None:
+                    declared.append(produced[0].name)
+            elif roll < 0.6:
+                # guarded-value pattern: the setup XOR-re-declares an outer
+                # variable, and the with reversal XORs it back
+                produced = self._gen_redeclare(env, 0)
+            if produced is None:
+                produced = self._gen_fresh_let(env, 0)
+                declared.append(produced[0].name)
+            setup.extend(produced)
+        for s in setup:
+            mentioned |= _stmt_mentions(s)
+        body_env = env.child(
+            extra_frozen=mentioned,
+            heap_locked=env.heap_locked or heap_used,
+        )
+        body = tuple(self.block(body_env, depth - 1))
+        # setup-declared names fall out of scope when the with closes
+        for name in declared:
+            env.vars.pop(name, None)
+        return [SWith(tuple(setup), body)]
+
+    def _gen_pair(self, env: _Env, depth: int):
+        name = self.fresh("t")
+        ty = self.pick_type(include_unit=False)
+        expr = self.expr(env, ty, self.gen.max_expr_depth, {name})
+        env.vars[name] = ty
+        frozen = {name} | expr_reads(expr)
+        mid_env = env.child(extra_frozen=frozen)
+        mid: List[SStmt] = []
+        for _ in range(self.rng.randint(0, 2)):
+            mid.extend(self.stmt(mid_env, depth - 1))
+        del env.vars[name]
+        return [SLet(name, expr, True), *mid, SLet(name, expr, False)]
+
+    def _gen_call(self, env: _Env, depth: int):
+        info = self.rng.choice(self.funs)
+        args: List[SExpr] = []
+        # args must be *distinct* variables: the inliner aliases parameters
+        # to argument registers, so passing one variable for two parameters
+        # that the body conditions on nests `if x` inside `if x`
+        used: Set[str] = set()
+        for pty in info.param_types:
+            candidates = self._vars_of(env, pty, used)
+            if candidates and self.rng.random() < 0.7:
+                name = self.rng.choice(candidates)
+                used.add(name)
+                args.append(EVar(name))
+            else:
+                expr = self.expr(env, pty, 1, used)
+                if isinstance(expr, EVar):
+                    used.add(expr.name)
+                args.append(expr)
+        size = (
+            SizeExpr(None, self.rng.randint(1, self.gen.max_rec_bound))
+            if info.sized
+            else None
+        )
+        target = self.fresh("r")
+        env.vars[target] = info.return_type
+        return [SLet(target, ECall(info.name, size, tuple(args)), True)]
+
+    # ------------------------------------------------------------- functions
+    def _params(self, count: int) -> Tuple[Tuple[str, Type], ...]:
+        return tuple(
+            (self.fresh("p"), self.pick_type(include_unit=False))
+            for _ in range(count)
+        )
+
+    def _helper(self) -> None:
+        name = self.fresh("f")
+        params = self._params(self.rng.randint(1, 3))
+        env = _Env(dict(params), {p for p, _ in params}, set(), False)
+        body = self.block(env, max(1, self.gen.max_depth - 1))
+        ret_ty = self.pick_type(include_unit=False)
+        out = self.fresh("out")
+        body.append(SLet(out, self.expr(env, ret_ty, self.gen.max_expr_depth, {out}), True))
+        self.fundefs.append(FunDef(name, None, params, tuple(body), out, ret_ty))
+        self.funs.append(FunInfo(name, tuple(t for _, t in params), ret_ty, False))
+
+    def _recursive(self) -> None:
+        name = self.fresh("rec")
+        params = self._params(self.rng.randint(1, 2))
+        ret_ty = self.pick_type(include_unit=False)
+        env = _Env(dict(params), {p for p, _ in params}, set(), False)
+
+        cond_name = self.fresh("c")
+        cond_expr = self.expr(env, BOOL, self.gen.max_expr_depth, set())
+        frozen = expr_reads(cond_expr) | {cond_name}
+        out = self.fresh("out")
+
+        then_env = env.child(frozen, {cond_name}, fork=True)
+        then_body = self.block(then_env, 1, min_size=0)
+        then_body.append(
+            SLet(out, self.expr(then_env, ret_ty, self.gen.max_expr_depth, {out}), True)
+        )
+
+        else_env = env.child(frozen, {cond_name}, fork=True)
+        else_body: List[SStmt] = []
+        arg_exprs: List[SExpr] = []
+        for pname, pty in params:
+            if self.rng.random() < 0.5:
+                arg_exprs.append(EVar(pname))
+            else:
+                local = self.fresh("a")
+                else_body.append(
+                    SLet(local, self.expr(else_env, pty, self.gen.max_expr_depth, {local}), True)
+                )
+                else_env.vars[local] = pty
+                arg_exprs.append(EVar(local))
+        else_body.append(
+            SLet(out, ECall(name, SizeExpr("n", 1), tuple(arg_exprs)), True)
+        )
+
+        body = (
+            SWith(
+                (SLet(cond_name, cond_expr, True),),
+                (SIf(EVar(cond_name), tuple(then_body), tuple(else_body)),),
+            ),
+        )
+        # out was declared inside the branches; visible after the with
+        env.vars[out] = ret_ty
+        self.fundefs.append(FunDef(name, "n", params, body, out, ret_ty))
+        self.funs.append(FunInfo(name, tuple(t for _, t in params), ret_ty, True))
+
+    # ---------------------------------------------------------------- driver
+    def generate(self) -> Program:
+        program = Program()
+        if self.gen.heap:
+            program.typedefs.append(TypeDef("list", LIST_DECL))
+        for _ in range(self.rng.randint(0, self.gen.max_helpers)):
+            self._helper()
+        if self.rng.random() < self.gen.recursion_prob:
+            self._recursive()
+
+        params = self._params(self.rng.randint(1, 4))
+        env = _Env(dict(params), set(), set(), False)
+        body = self.block(env, self.gen.max_depth, min_size=2)
+        return_var: Optional[str] = None
+        return_type: Optional[Type] = None
+        if env.vars and self.rng.random() < 0.85:
+            return_var = self.rng.choice(list(env.vars))
+            return_type = env.vars[return_var]
+        program.fundefs.extend(self.fundefs)
+        program.fundefs.append(
+            FunDef("main", None, params, tuple(body), return_var, return_type)
+        )
+        return program
+
+
+def _stmt_mentions(stmt: SStmt) -> Set[str]:
+    """Every variable name a surface statement reads or writes."""
+    names: Set[str] = set()
+    if isinstance(stmt, SLet):
+        names.add(stmt.name)
+        names |= expr_reads(stmt.expr)
+    elif isinstance(stmt, SSwapS):
+        names |= {stmt.left, stmt.right}
+    elif isinstance(stmt, SMemSwap):
+        names |= {stmt.pointer, stmt.value}
+    elif isinstance(stmt, SHadamard):
+        names.add(stmt.name)
+    elif isinstance(stmt, SIf):
+        names |= expr_reads(stmt.cond)
+        for s in stmt.then:
+            names |= _stmt_mentions(s)
+        for s in stmt.otherwise or ():
+            names |= _stmt_mentions(s)
+    elif isinstance(stmt, SWith):
+        for s in stmt.setup + stmt.body:
+            names |= _stmt_mentions(s)
+    return names
+
+
+# ------------------------------------------------------------------ rendering
+def render_type(ty: Type) -> str:
+    if isinstance(ty, UnitT):
+        return "()"
+    if isinstance(ty, UIntT):
+        return "uint"
+    if isinstance(ty, BoolT):
+        return "bool"
+    if isinstance(ty, TupleT):
+        return f"({render_type(ty.first)}, {render_type(ty.second)})"
+    if isinstance(ty, PtrT):
+        return f"ptr<{render_type(ty.elem)}>"
+    if isinstance(ty, NamedT):
+        return ty.name
+    raise ValueError(f"cannot render type {ty!r}")  # pragma: no cover
+
+
+def render_expr(e: SExpr) -> str:
+    if isinstance(e, EInt):
+        return str(e.value)
+    if isinstance(e, EBool):
+        return "true" if e.value else "false"
+    if isinstance(e, EUnit):
+        return "()"
+    if isinstance(e, ENull):
+        return "null"
+    if isinstance(e, EDefault):
+        return f"default<{render_type(e.ty)}>"
+    if isinstance(e, EVar):
+        return e.name
+    if isinstance(e, EPair):
+        return f"({render_expr(e.first)}, {render_expr(e.second)})"
+    if isinstance(e, EProj):
+        base = render_expr(e.expr)
+        if not isinstance(e.expr, (EVar, EProj)):
+            base = f"({base})"
+        return f"{base}.{e.index}"
+    if isinstance(e, EUn):
+        return f"{e.op} {render_expr(e.expr)}"
+    if isinstance(e, EBin):
+        return f"({render_expr(e.left)} {e.op} {render_expr(e.right)})"
+    if isinstance(e, ECall):
+        args = ", ".join(render_expr(a) for a in e.args)
+        size = f"[{e.size}]" if e.size is not None else ""
+        return f"{e.func}{size}({args})"
+    raise ValueError(f"cannot render expression {e!r}")  # pragma: no cover
+
+
+def _render_block(stmts: Sequence[SStmt], indent: int) -> List[str]:
+    lines: List[str] = []
+    for s in stmts:
+        lines.extend(render_stmt(s, indent))
+    return lines
+
+
+def render_stmt(s: SStmt, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    if isinstance(s, SSkip):
+        return [f"{pad}skip;"]
+    if isinstance(s, SLet):
+        arrow = "<-" if s.forward else "->"
+        return [f"{pad}let {s.name} {arrow} {render_expr(s.expr)};"]
+    if isinstance(s, SSwapS):
+        return [f"{pad}{s.left} <-> {s.right};"]
+    if isinstance(s, SMemSwap):
+        return [f"{pad}*{s.pointer} <-> {s.value};"]
+    if isinstance(s, SHadamard):
+        return [f"{pad}H({s.name});"]
+    if isinstance(s, SIf):
+        lines = [f"{pad}if {render_expr(s.cond)} {{"]
+        lines += _render_block(s.then, indent + 1)
+        if s.otherwise is None:
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}}} else {{")
+            lines += _render_block(s.otherwise, indent + 1)
+            lines.append(f"{pad}}}")
+        return lines
+    if isinstance(s, SWith):
+        lines = [f"{pad}with {{"]
+        lines += _render_block(s.setup, indent + 1)
+        lines.append(f"{pad}}} do {{")
+        lines += _render_block(s.body, indent + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    raise ValueError(f"cannot render statement {s!r}")  # pragma: no cover
+
+
+def render_program(program: Program) -> str:
+    """Render a surface program back to Tower source (parse round-trips)."""
+    lines: List[str] = []
+    for td in program.typedefs:
+        lines.append(f"type {td.name} = {render_type(td.ty)};")
+    for fd in program.fundefs:
+        size = f"[{fd.size_param}]" if fd.size_param else ""
+        params = ", ".join(f"{n}: {render_type(t)}" for n, t in fd.params)
+        ret = f" -> {render_type(fd.return_type)}" if fd.return_type else ""
+        lines.append(f"fun {fd.name}{size}({params}){ret} {{")
+        lines += _render_block(fd.body, 1)
+        if fd.return_var is not None:
+            lines.append(f"  return {fd.return_var};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------- entry points
+def generate_program(
+    seed: int,
+    gen: GenConfig = GenConfig(),
+    config: CompilerConfig = DEFAULT_FUZZ_CONFIG,
+) -> Program:
+    """The deterministic program of one seed."""
+    return ProgramGenerator(seed, gen, config).generate()
+
+
+def program_seed(base_seed: int, index: int) -> int:
+    """Per-program seed of a (base seed, index) pair."""
+    return (base_seed * 1_000_003 + index) & 0xFFFFFFFF
+
+
+def fuzz_name(seed: int, index: int, max_depth: Optional[int] = None) -> str:
+    """The benchmark-grid name of one generated program."""
+    suffix = f":{max_depth}" if max_depth is not None else ""
+    return f"fuzz:{seed}:{index}{suffix}"
+
+
+def program_for_spec(name: str) -> Tuple[str, str]:
+    """Resolve ``fuzz:<seed>:<index>[:<max_depth>]`` to (source, entry).
+
+    This is how generated workloads flow through the benchmark grid: the
+    name itself encodes the program, so cache keys, worker processes and
+    artifact replays all agree without shipping sources around.
+    """
+    parts = name.split(":")
+    if parts[0] != "fuzz" or len(parts) not in (3, 4):
+        raise ValueError(f"not a fuzz benchmark name: {name!r}")
+    seed, index = int(parts[1]), int(parts[2])
+    gen = GenConfig()
+    if len(parts) == 4:
+        gen = gen.scaled(max_depth=int(parts[3]))
+    program = generate_program(program_seed(seed, index), gen)
+    return render_program(program), "main"

@@ -1,0 +1,438 @@
+"""Differential oracles: every layer of the pipeline checked against the rest.
+
+For one generated (or corpus) program, :func:`run_oracles` checks:
+
+* **render round-trip** — rendering the surface AST to Tower source and
+  re-parsing reproduces the identical AST (lexer + parser oracle);
+* **typecheck** — the lowered core is well-formed under Figure 20 (a
+  failure here is a generator-discipline defect, reported as such);
+* **reverse involution** — ``I[I[s]] = s`` structurally, and running
+  ``s; I[s]`` on the interpreter restores every register and the heap;
+* **cost model** — :func:`repro.cost.exact.exact_counts` equals the
+  compiled circuit's MCX/T counts at every optimization level;
+* **interpreter vs. circuit** — on random basis inputs, the classical
+  simulation of the compiled circuit agrees register-for-register (and
+  heap-cell-for-heap-cell) with the IR interpreter, at every optimization
+  level; every qubit outside the final register map ends at 0 (ancilla /
+  freed-register cleanliness); the circuit's inverse undoes it;
+* **statevector vs. classical** — the sparse statevector simulation of the
+  same circuit lands on exactly the predicted basis state (dense
+  cross-check too when the circuit is small enough);
+* **circuit optimizers** — every deterministic baseline produces a
+  Clifford+T circuit that fixes the same basis states (checked through the
+  sparse statevector) and never exceeds the T-count of the plain
+  Clifford+T expansion it started from.
+
+A failed oracle raises :class:`OracleFailure` whose ``oracle`` field is the
+stable signature used by :mod:`repro.fuzz.shrink` to preserve the failure
+while minimizing.  Unexpected exceptions in any stage are converted into
+``crash[stage]`` failures — a compiler crash on a well-typed program is a
+finding, not a harness error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..circopt import get_optimizer
+from ..circuit import classical_sim
+from ..circuit.decompose import DecompositionCache
+from ..circuit.statevector import (
+    basis_state,
+    run as dense_run,
+    sparse_is_basis,
+    sparse_run,
+    states_equal,
+)
+from ..compiler.pipeline import CompiledProgram, compile_core
+from ..config import CompilerConfig
+from ..cost.exact import exact_counts
+from ..errors import ReproError, SimulationError
+from ..ir.core import seq
+from ..ir.interp import run_program
+from ..ir.reverse import reverse
+from ..ir.typecheck import check_program
+from ..lang.ast import Program
+from ..lang.desugar import lower_entry
+from ..lang.parser import parse_program
+from .generator import DEFAULT_FUZZ_CONFIG, GenConfig, generate_program, render_program
+
+
+class OracleFailure(Exception):
+    """One failed differential check.
+
+    ``oracle`` is a stable signature (e.g. ``circuit-vs-interp[spire]``)
+    used to decide whether a shrunk candidate still exhibits *the same*
+    failure; ``message`` carries the concrete mismatch.
+    """
+
+    def __init__(self, oracle: str, message: str) -> None:
+        super().__init__(f"{oracle}: {message}")
+        self.oracle = oracle
+        self.message = message
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Which oracles run and how hard they push."""
+
+    compiler: CompilerConfig = DEFAULT_FUZZ_CONFIG
+    optimizations: Tuple[str, ...] = ("none", "spire", "flatten", "narrow")
+    optimizers: Tuple[str, ...] = (
+        "peephole",
+        "rotation-merge",
+        "toffoli-cancel",
+        "zx-like",
+    )
+    n_inputs: int = 3              #: basis inputs tried per program
+    dense_max_qubits: int = 10     #: dense statevector cross-check cap
+    sparse_support_cap: int = 1 << 12
+    check_optimizers: bool = True
+    check_statevector: bool = True
+
+
+@dataclass
+class OracleReport:
+    """The outcome of all oracles on one program."""
+
+    seed: Optional[int]
+    ok: bool
+    oracle: Optional[str] = None
+    message: Optional[str] = None
+    source: str = ""
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+def _stage(oracle: str, fn, *args, **kwargs):
+    """Run one stage, converting unexpected exceptions into failures."""
+    try:
+        return fn(*args, **kwargs)
+    except OracleFailure:
+        raise
+    except ReproError as exc:
+        raise OracleFailure(oracle, f"{type(exc).__name__}: {exc}") from exc
+    except Exception as exc:  # compiler crash on a well-typed program
+        raise OracleFailure(f"crash[{oracle}]", f"{type(exc).__name__}: {exc}") from exc
+
+
+def _random_inputs(rng, widths: Dict[str, int]) -> Dict[str, int]:
+    return {
+        name: rng.randrange(1 << width) if width else 0
+        for name, width in widths.items()
+    }
+
+
+def _compare_machines(m_ref, m_opt, optimization: str) -> None:
+    """Optimization soundness at the interpreter level."""
+    names = set(m_ref.registers) | set(m_opt.registers)
+    for name in sorted(names):
+        a = m_ref.registers.get(name, 0)
+        b = m_opt.registers.get(name, 0)
+        if name in m_ref.registers and name in m_opt.registers:
+            if a != b:
+                raise OracleFailure(
+                    f"opt-vs-interp[{optimization}]",
+                    f"register {name!r}: reference={a} {optimization}={b}",
+                )
+        elif (a if name in m_ref.registers else b) != 0:
+            raise OracleFailure(
+                f"opt-vs-interp[{optimization}]",
+                f"register {name!r} exclusive to one side is nonzero",
+            )
+    if m_ref.memory != m_opt.memory:
+        raise OracleFailure(
+            f"opt-vs-interp[{optimization}]",
+            f"heap differs: reference={m_ref.memory} {optimization}={m_opt.memory}",
+        )
+
+
+def _check_circuit_point(
+    cp: CompiledProgram,
+    inverse,
+    machine,
+    inputs: Dict[str, int],
+    memory: List[int],
+    optimization: str,
+    cfg: OracleConfig,
+) -> Tuple[int, int]:
+    """Circuit vs. interpreter on one basis input; returns (in, out) states."""
+    circuit = cp.circuit
+    circuit_inputs = dict(inputs)
+    if cp.cell_bits:
+        for addr in range(1, cp.config.heap_cells + 1):
+            circuit_inputs[f"mem[{addr}]"] = memory[addr]
+    packed = classical_sim.pack(circuit_inputs, circuit)
+    final = classical_sim.run(circuit, packed)
+    out = classical_sim.unpack(final, circuit)
+    for name, reg in circuit.registers.items():
+        if name.startswith("mem["):
+            expected = machine.memory[int(name[4:-1])]
+        else:
+            expected = machine.registers.get(name, 0)
+        if out[name] != expected:
+            raise OracleFailure(
+                f"circuit-vs-interp[{optimization}]",
+                f"register {name!r}: circuit={out[name]} interp={expected} "
+                f"on inputs {inputs} memory {memory}",
+            )
+    covered = 0
+    for reg in circuit.registers.values():
+        covered |= ((1 << reg.width) - 1) << reg.offset
+    if final & ~covered:
+        raise OracleFailure(
+            f"ancilla-nonzero[{optimization}]",
+            f"qubits outside the register map end nonzero: state {final:#x} "
+            f"on inputs {inputs} memory {memory}",
+        )
+    # interpreter-side cleanliness: names whose registers were freed must
+    # have been XORed back to zero, else the circuit's register reuse and
+    # the interpreter's flat namespace could legally diverge (a generator
+    # discipline violation, not a compiler bug).
+    for name, value in machine.registers.items():
+        if value != 0 and name not in circuit.registers:
+            raise OracleFailure(
+                "interp-unclean",
+                f"dead register {name!r} holds {value}; the generated "
+                "program does not uncompute cleanly",
+            )
+    if classical_sim.run(inverse, final) != packed:
+        raise OracleFailure(
+            f"circuit-inverse[{optimization}]",
+            f"inverse circuit does not restore the input state {packed:#x}",
+        )
+    if cfg.check_statevector:
+        amps = _stage(
+            f"statevector-sparse[{optimization}]",
+            sparse_run,
+            circuit,
+            packed,
+            support_cap=cfg.sparse_support_cap,
+        )
+        if not sparse_is_basis(amps, final):
+            raise OracleFailure(
+                f"statevector-sparse[{optimization}]",
+                f"sparse statevector disagrees with classical result {final:#x}",
+            )
+        if circuit.num_qubits <= cfg.dense_max_qubits:
+            state = dense_run(circuit, basis_state(circuit.num_qubits, packed))
+            if not states_equal(state, basis_state(circuit.num_qubits, final)):
+                raise OracleFailure(
+                    f"statevector-dense[{optimization}]",
+                    f"dense statevector disagrees with classical result {final:#x}",
+                )
+    return packed, final
+
+
+def _check_optimizers(
+    cp: CompiledProgram,
+    basis_pairs: List[Tuple[int, int]],
+    cfg: OracleConfig,
+    stats: Dict[str, Any],
+) -> None:
+    cache = DecompositionCache()
+    reference = _stage("decompose", cache.clifford_t, cp.circuit)
+    reference_t = reference.t_count()
+    stats["t_clifford"] = reference_t
+    for name in cfg.optimizers:
+        opt = get_optimizer(name)
+        opt.cache = cache
+        result = _stage(f"optimizer[{name}]", opt.optimize, cp.circuit)
+        if result.t_count > reference_t:
+            raise OracleFailure(
+                f"tcount-increase[{name}]",
+                f"optimizer raised T-count {reference_t} -> {result.t_count}",
+            )
+        if not result.circuit.is_clifford_t():
+            raise OracleFailure(
+                f"optimizer[{name}]", "result is not a Clifford+T circuit"
+            )
+        stats[f"t_{name}"] = result.t_count
+        if not cfg.check_statevector:
+            continue
+        for packed, expected in basis_pairs:
+            try:
+                amps = sparse_run(
+                    result.circuit, packed, support_cap=cfg.sparse_support_cap
+                )
+            except SimulationError:
+                # support explosion: fall back to dense when feasible
+                if result.circuit.num_qubits <= cfg.dense_max_qubits:
+                    state = dense_run(
+                        result.circuit,
+                        basis_state(result.circuit.num_qubits, packed),
+                    )
+                    if not states_equal(
+                        state, basis_state(result.circuit.num_qubits, expected)
+                    ):
+                        raise OracleFailure(
+                            f"optimizer-semantics[{name}]",
+                            f"basis state {packed:#x} no longer maps to "
+                            f"{expected:#x}",
+                        )
+                else:
+                    stats[f"skipped_{name}"] = stats.get(f"skipped_{name}", 0) + 1
+                continue
+            if not sparse_is_basis(amps, expected):
+                raise OracleFailure(
+                    f"optimizer-semantics[{name}]",
+                    f"basis state {packed:#x} no longer maps to {expected:#x}",
+                )
+
+
+def run_oracles(
+    program: Program,
+    entry: str = "main",
+    size: Optional[int] = None,
+    cfg: OracleConfig = OracleConfig(),
+    input_seed: int = 0,
+) -> Dict[str, Any]:
+    """Run every oracle on one surface program; returns summary stats.
+
+    Raises :class:`OracleFailure` on the first violated invariant.
+    """
+    stats: Dict[str, Any] = {}
+
+    source = render_program(program)
+    reparsed = _stage("render-roundtrip", parse_program, source)
+    if reparsed != program:
+        raise OracleFailure("render-roundtrip", "re-parsed AST differs")
+
+    lowered = _stage("lower", lower_entry, program, entry, size, cfg.compiler)
+    stmt = lowered.stmt
+    _stage("typecheck", check_program, stmt, lowered.table, lowered.param_types)
+
+    if reverse(reverse(stmt)) != stmt:
+        raise OracleFailure("reverse-involution", "I[I[s]] differs from s")
+
+    # the first optimization level is the reference the others are compared
+    # against (and the one the circuit-optimizer baselines run on)
+    ref = cfg.optimizations[0]
+    compiles: Dict[str, CompiledProgram] = {}
+    inverses: Dict[str, Any] = {}
+    for optimization in cfg.optimizations:
+        compiles[optimization] = _stage(
+            f"compile[{optimization}]",
+            compile_core,
+            stmt,
+            lowered.table,
+            lowered.param_types,
+            optimization=optimization,
+            return_var=lowered.return_var,
+        )
+        inverses[optimization] = compiles[optimization].circuit.inverse()
+    stats["qubits"] = compiles[ref].num_qubits()
+    stats["gates"] = len(compiles[ref].circuit.gates)
+    stats["t"] = compiles[ref].t_complexity()
+
+    for optimization, cp in compiles.items():
+        mcx, t = _stage(
+            f"cost-exact[{optimization}]",
+            exact_counts,
+            cp.core,
+            cp.table,
+            cp.var_types,
+            cp.cell_bits,
+        )
+        if (mcx, t) != (cp.mcx_complexity(), cp.t_complexity()):
+            raise OracleFailure(
+                f"cost-exact[{optimization}]",
+                f"model ({mcx}, {t}) != circuit "
+                f"({cp.mcx_complexity()}, {cp.t_complexity()})",
+            )
+
+    table = lowered.table
+    widths = {
+        name: table.width(ty) for name, ty in lowered.param_types.items()
+    }
+    cell_bits = min(cp.cell_bits for cp in compiles.values())
+    heap_cells = cfg.compiler.heap_cells
+    rng = random.Random(input_seed)
+    basis_pairs: List[Tuple[int, int]] = []
+    for _ in range(cfg.n_inputs):
+        inputs = _random_inputs(rng, widths)
+        memory = [0] + [
+            rng.randrange(1 << cell_bits) if cell_bits else 0
+            for _ in range(heap_cells)
+        ]
+
+        machines = {}
+        for optimization, cp in compiles.items():
+            # full var_types + default_zero mirror the circuit exactly:
+            # optimizer rewrites may soundly read registers (as |0..0>)
+            # on paths where the source program never bound them
+            machines[optimization] = _stage(
+                f"interp[{optimization}]",
+                run_program,
+                cp.core,
+                table,
+                dict(inputs),
+                dict(cp.var_types),
+                memory=list(memory),
+                default_zero=True,
+            )
+        for optimization in cfg.optimizations[1:]:
+            _compare_machines(machines[ref], machines[optimization], optimization)
+
+        round_trip = _stage(
+            "reverse-roundtrip",
+            run_program,
+            seq(stmt, reverse(stmt)),
+            table,
+            dict(inputs),
+            dict(compiles[ref].var_types),
+            memory=list(memory),
+            default_zero=True,
+        )
+        for name, value in round_trip.registers.items():
+            expected = inputs.get(name, 0)
+            if value != expected:
+                raise OracleFailure(
+                    "reverse-roundtrip",
+                    f"register {name!r} is {value}, expected {expected} "
+                    f"after s; I[s] on inputs {inputs}",
+                )
+        if round_trip.memory != memory:
+            raise OracleFailure(
+                "reverse-roundtrip", "heap not restored after s; I[s]"
+            )
+
+        for optimization, cp in compiles.items():
+            packed, final = _check_circuit_point(
+                cp,
+                inverses[optimization],
+                machines[optimization],
+                inputs,
+                memory,
+                optimization,
+                cfg,
+            )
+            if optimization == ref:
+                basis_pairs.append((packed, final))
+
+    if cfg.check_optimizers:
+        _check_optimizers(compiles[ref], basis_pairs, cfg, stats)
+    return stats
+
+
+def check_generated(
+    seed: int,
+    gen: GenConfig = GenConfig(),
+    cfg: OracleConfig = OracleConfig(),
+) -> OracleReport:
+    """Generate the program of one seed and run every oracle on it."""
+    try:
+        program = generate_program(seed, gen, cfg.compiler)
+    except Exception as exc:  # generator must never crash
+        return OracleReport(
+            seed, False, "crash[generate]", f"{type(exc).__name__}: {exc}"
+        )
+    source = render_program(program)
+    try:
+        stats = run_oracles(program, "main", None, cfg, input_seed=seed)
+    except OracleFailure as failure:
+        return OracleReport(
+            seed, False, failure.oracle, failure.message, source
+        )
+    return OracleReport(seed, True, source=source, stats=stats)

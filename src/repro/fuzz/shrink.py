@@ -1,0 +1,136 @@
+"""Deterministic minimization of failing generated programs.
+
+``shrink`` greedily applies structural simplifications — removing
+statements, inlining ``if`` branches and ``with`` blocks, dropping
+``else`` arms, deleting uncalled functions, lowering recursion bounds —
+keeping a candidate only when it still fails with the *same* oracle
+signature as the original.  Candidates that fail differently (including
+ones the simplification made ill-typed, which surface as ``typecheck`` or
+``lower`` failures) are rejected, so the result is a minimal program with
+the original defect.
+
+Everything is deterministic: candidate order is fixed by the traversal and
+no randomness is involved, so a shrunk reproducer is stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Optional, Tuple
+
+from ..lang.ast import ECall, FunDef, Program, SIf, SizeExpr, SLet, SStmt, SWith
+
+
+def _stmt_calls(stmt: SStmt) -> Iterator[str]:
+    if isinstance(stmt, SLet) and isinstance(stmt.expr, ECall):
+        yield stmt.expr.func
+    elif isinstance(stmt, SIf):
+        for s in stmt.then + (stmt.otherwise or ()):
+            yield from _stmt_calls(s)
+    elif isinstance(stmt, SWith):
+        for s in stmt.setup + stmt.body:
+            yield from _stmt_calls(s)
+
+
+def _called_functions(program: Program) -> set:
+    called = set()
+    for fd in program.fundefs:
+        for s in fd.body:
+            called.update(_stmt_calls(s))
+    return called
+
+
+def _block_variants(stmts: Tuple[SStmt, ...]) -> Iterator[Tuple[SStmt, ...]]:
+    """Strictly smaller variants of one statement block."""
+    for i, s in enumerate(stmts):
+        before, after = stmts[:i], stmts[i + 1 :]
+        yield before + after  # drop the statement entirely
+        if isinstance(s, SIf):
+            yield before + s.then + after
+            if s.otherwise is not None:
+                yield before + s.otherwise + after
+                yield before + (SIf(s.cond, s.then, None),) + after
+            for v in _block_variants(s.then):
+                yield before + (SIf(s.cond, v, s.otherwise),) + after
+            if s.otherwise is not None:
+                for v in _block_variants(s.otherwise):
+                    yield before + (SIf(s.cond, s.then, v),) + after
+        elif isinstance(s, SWith):
+            yield before + s.setup + s.body + after
+            yield before + s.body + after
+            for v in _block_variants(s.setup):
+                yield before + (SWith(v, s.body),) + after
+            for v in _block_variants(s.body):
+                yield before + (SWith(s.setup, v),) + after
+        elif (
+            isinstance(s, SLet)
+            and isinstance(s.expr, ECall)
+            and s.expr.size is not None
+            and s.expr.size.var is None
+            and s.expr.size.offset > 1
+        ):
+            smaller = ECall(
+                s.expr.func, SizeExpr(None, s.expr.size.offset - 1), s.expr.args
+            )
+            yield before + (SLet(s.name, smaller, s.forward),) + after
+
+
+def _program_variants(program: Program, entry: str) -> Iterator[Program]:
+    called = _called_functions(program)
+    for i, fd in enumerate(program.fundefs):
+        if fd.name != entry and fd.name not in called:
+            yield Program(
+                list(program.typedefs),
+                program.fundefs[:i] + program.fundefs[i + 1 :],
+            )
+    for i, fd in enumerate(program.fundefs):
+        for body in _block_variants(fd.body):
+            smaller: FunDef = replace(fd, body=body)
+            yield Program(
+                list(program.typedefs),
+                program.fundefs[:i] + [smaller] + program.fundefs[i + 1 :],
+            )
+
+
+def _size(program: Program) -> int:
+    def stmt_size(s: SStmt) -> int:
+        if isinstance(s, SIf):
+            return 1 + sum(map(stmt_size, s.then + (s.otherwise or ())))
+        if isinstance(s, SWith):
+            return 1 + sum(map(stmt_size, s.setup + s.body))
+        return 1
+
+    return sum(1 + sum(map(stmt_size, fd.body)) for fd in program.fundefs)
+
+
+def shrink(
+    program: Program,
+    signature_of: Callable[[Program], Optional[str]],
+    entry: str = "main",
+    max_attempts: int = 400,
+) -> Tuple[Program, int]:
+    """Minimize ``program`` while ``signature_of`` keeps returning the same
+    oracle signature.
+
+    ``signature_of`` returns the failing oracle's name, or None when the
+    program passes.  Returns (shrunk program, predicate evaluations).
+    """
+    target = signature_of(program)
+    if target is None:
+        return program, 1
+    attempts = 1
+    current = program
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _program_variants(current, entry):
+            if attempts >= max_attempts:
+                break
+            if _size(candidate) >= _size(current):
+                continue
+            attempts += 1
+            if signature_of(candidate) == target:
+                current = candidate
+                improved = True
+                break
+    return current, attempts

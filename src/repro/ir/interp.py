@@ -58,6 +58,13 @@ class Machine:
     registers: Dict[str, int] = field(default_factory=dict)
     memory: List[int] = field(default_factory=list)
     types: Dict[str, Type] = field(default_factory=dict)
+    #: when true, reads of never-assigned registers yield 0 instead of
+    #: raising — the exact semantics of the compiled circuit, whose qubits
+    #: all start in |0⟩.  Needed to interpret optimizer output, which may
+    #: soundly hoist computations out of conditionals so that a register
+    #: is read on paths where the original program never bound it.  The
+    #: strict default doubles as a lint for hand-written programs.
+    default_zero: bool = False
 
     @classmethod
     def fresh(
@@ -66,6 +73,7 @@ class Machine:
         inputs: Optional[Dict[str, int]] = None,
         input_types: Optional[Dict[str, Type]] = None,
         memory: Optional[List[int]] = None,
+        default_zero: bool = False,
     ) -> "Machine":
         config = table.config
         mem = list(memory) if memory is not None else [0] * (config.heap_cells + 1)
@@ -78,6 +86,7 @@ class Machine:
             registers=dict(inputs or {}),
             memory=mem,
             types=dict(input_types or {}),
+            default_zero=default_zero,
         )
 
     @property
@@ -93,6 +102,8 @@ class Machine:
 
     def get(self, name: str) -> int:
         if name not in self.registers:
+            if self.default_zero:
+                return 0
             raise SimulationError(f"read of unbound register {name!r}")
         return self.registers[name]
 
@@ -233,8 +244,9 @@ def run_program(
     inputs: Optional[Dict[str, int]] = None,
     input_types: Optional[Dict[str, Type]] = None,
     memory: Optional[List[int]] = None,
+    default_zero: bool = False,
 ) -> Machine:
     """Run a program from a fresh machine state and return the final state."""
-    machine = Machine.fresh(table, inputs, input_types, memory)
+    machine = Machine.fresh(table, inputs, input_types, memory, default_zero)
     run_stmt(machine, stmt)
     return machine

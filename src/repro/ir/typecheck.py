@@ -304,15 +304,20 @@ def infer_types(
                     f"{s.name!r} used at two types: {types[s.name]} and {ty}"
                 )
             types[s.name] = ty
-            ctx.vars[s.name] = ty
+            ctx.bind(s.name, ty)
             return ctx
         if isinstance(s, UnAssign):
             # lenient: guarded re-declarations are un-assigned repeatedly in
             # with-reversals (multi-binding contexts, Appendix B.1); strict
-            # enforcement is check_program's job.
-            ty = ctx.vars.pop(s.name, None) or types.get(s.name)
+            # enforcement is check_program's job.  Binding counts matter
+            # here: un-assigning one binding of a multiply-declared name
+            # (e.g. a with-setup's guarded XOR re-declaration of an outer
+            # variable) must leave the outer binding visible, or later
+            # reads of the variable fail to type.
+            ty = ctx.vars.get(s.name) or types.get(s.name)
             if ty is not None:
                 types.setdefault(s.name, ty)
+            ctx.unbind(s.name)
             return ctx
         if isinstance(s, If):
             return visit(ctx, s.body)
@@ -324,5 +329,8 @@ def infer_types(
             return visit(ctx3, reverse(s.setup))
         return ctx
 
-    visit(Context(table, dict(inputs or {})), stmt)
+    ctx = Context(table, dict(inputs or {}))
+    for name in ctx.vars:
+        ctx.counts[name] = 1
+    visit(ctx, stmt)
     return types

@@ -1,0 +1,134 @@
+"""Corpus replay and oracle-harness tests.
+
+The fast tier replays the deterministic corpus (``tests/corpus``) on every
+run: the seed manifest drives the generator and the checked-in reproducers
+guard fixed defects.  Long fresh-seed sweeps are gated behind ``-m fuzz``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    GenConfig,
+    OracleConfig,
+    check_generated,
+    load_corpus,
+    replay_case,
+)
+from repro.fuzz.corpus import CorpusCase, load_seed_manifest, save_case
+from repro.fuzz.oracles import OracleFailure, run_oracles
+from repro.lang.parser import parse_program
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: fast replay settings: the full oracle stack minus the optimizer sweep
+FAST = OracleConfig(n_inputs=2, check_optimizers=False)
+#: complete oracle stack (optimizer baselines included)
+FULL = OracleConfig(n_inputs=2)
+
+
+def seed_entries():
+    return load_seed_manifest(CORPUS / "seeds.json")
+
+
+@pytest.mark.parametrize(
+    "seed,gen", seed_entries(), ids=[f"seed{s}" for s, _ in seed_entries()]
+)
+def test_corpus_seed_replay(seed, gen):
+    report = check_generated(seed, gen, FAST)
+    assert report.ok, f"{report.oracle}: {report.message}\n{report.source}"
+
+
+@pytest.mark.parametrize("seed", [0, 5, 11, 203])
+def test_corpus_seed_replay_full_oracles(seed):
+    report = check_generated(seed, GenConfig(), FULL)
+    assert report.ok, f"{report.oracle}: {report.message}\n{report.source}"
+
+
+def test_corpus_cases_replay():
+    cases = load_corpus(CORPUS / "cases")
+    assert cases, "the reproducer corpus must not be empty"
+    for case in cases:
+        stats = replay_case(case, FULL)
+        assert stats["qubits"] > 0
+
+
+def test_corpus_case_roundtrip(tmp_path):
+    case = CorpusCase(
+        name="example",
+        source="fun main(x: uint) -> uint {\n  let y <- x;\n  return y;\n}\n",
+        oracle=None,
+        description="round-trip fixture",
+    )
+    path = save_case(case, tmp_path)
+    loaded = load_corpus(tmp_path)
+    assert path.name == "example.json"
+    assert loaded == [case]
+    replay_case(case, FAST)
+
+
+class TestOracleHarness:
+    def test_detects_optimizer_semantics_bug(self, monkeypatch):
+        """A deliberately broken optimizer must be caught by the oracles."""
+        from repro.circopt import cancel as cancel_mod
+        from repro.circuit.circuit import Circuit
+        from repro.circuit.gates import x as x_gate
+
+        real_run = cancel_mod.CliffordTPeephole.run
+
+        def broken(self, circuit):
+            result = real_run(self, circuit)
+            broken_gates = list(result.gates) + [x_gate(0)]
+            out = Circuit(result.num_qubits, broken_gates)
+            out.registers = result.registers
+            return out
+
+        monkeypatch.setattr(cancel_mod.CliffordTPeephole, "run", broken)
+        program = parse_program(
+            "fun main(x: uint) -> uint {\n  let y <- x + 1;\n  return y;\n}\n"
+        )
+        with pytest.raises(OracleFailure) as info:
+            run_oracles(program, "main", None, FULL, input_seed=0)
+        assert "peephole" in info.value.oracle
+
+    def test_detects_cost_model_mismatch(self, monkeypatch):
+        from repro.fuzz import oracles as oracles_mod
+
+        real = oracles_mod.exact_counts
+
+        def skewed(*args, **kwargs):
+            mcx, t = real(*args, **kwargs)
+            return mcx + 1, t
+
+        monkeypatch.setattr(oracles_mod, "exact_counts", skewed)
+        program = parse_program(
+            "fun main(x: uint) -> uint {\n  let y <- x + 1;\n  return y;\n}\n"
+        )
+        with pytest.raises(OracleFailure) as info:
+            run_oracles(program, "main", None, FAST, input_seed=0)
+        assert info.value.oracle.startswith("cost-exact")
+
+    def test_report_contains_source_on_failure(self, monkeypatch):
+        from repro.fuzz import oracles as oracles_mod
+
+        def boom(*args, **kwargs):
+            raise OracleFailure("synthetic", "boom")
+
+        monkeypatch.setattr(oracles_mod, "run_oracles", boom)
+        report = check_generated(0, GenConfig(), FAST)
+        assert not report.ok
+        assert report.oracle == "synthetic"
+        assert "fun main" in report.source
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("block", range(6))
+def test_fresh_seed_sweep(block):
+    """Budgeted fresh-seed run (full oracles); gated behind ``-m fuzz``."""
+    base = 1_000 + 25 * block
+    for seed in range(base, base + 25):
+        report = check_generated(seed, GenConfig(), OracleConfig())
+        assert report.ok, (
+            f"seed {seed} {report.oracle}: {report.message}\n{report.source}"
+        )

@@ -1,0 +1,114 @@
+"""Property tests for ``ir/reverse.py`` on Table-1 and generated programs.
+
+Satellite of the fuzzing PR: reversal must be an involution structurally
+(``I[I[s]] = s``), and running ``s; I[s]`` must restore every register and
+every heap cell — on the paper's benchmark programs, on hypothesis-generated
+core programs, and on the fuzz generator's surface programs.  The compiled
+circuit's inverse must undo it on basis states, too.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.benchsuite import (
+    ENTRIES,
+    SOURCES,
+    UNSIZED,
+    BenchmarkRunner,
+    HeapImage,
+)
+from repro.circuit import classical_sim
+from repro.config import CompilerConfig
+from repro.fuzz import DEFAULT_FUZZ_CONFIG, generate_program
+from repro.ir import reverse, run_program, seq
+from repro.ir.reverse import expand_with
+from repro.lang.desugar import lower_entry
+from repro.lang.parser import parse_program
+
+from test_property import SLOW, input_strategy, program_strategy, CFG, INPUT_TYPES
+
+BENCH_CFG = CompilerConfig(word_width=3, addr_width=3, heap_cells=7)
+
+
+def _lowered_benchmarks(depth=2):
+    for name, source in sorted(SOURCES.items()):
+        size = None if name in UNSIZED else depth
+        yield name, lower_entry(parse_program(source), ENTRIES[name], size, BENCH_CFG)
+
+
+class TestInvolution:
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_table1_reverse_involution(self, depth):
+        for name, lowered in _lowered_benchmarks(depth):
+            assert reverse(reverse(lowered.stmt)) == lowered.stmt, name
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_generated_reverse_involution(self, seed):
+        program = generate_program(seed)
+        lowered = lower_entry(program, "main", None, DEFAULT_FUZZ_CONFIG)
+        assert reverse(reverse(lowered.stmt)) == lowered.stmt
+
+    @given(stmt=program_strategy)
+    @SLOW
+    def test_hypothesis_reverse_involution(self, stmt):
+        assert reverse(reverse(stmt)) == stmt
+
+    @given(stmt=program_strategy)
+    @SLOW
+    def test_involution_commutes_with_with_expansion(self, stmt):
+        # expanding with-blocks then reversing == reversing then expanding
+        assert expand_with(reverse(stmt)) == reverse(expand_with(stmt))
+
+
+class TestUncomputation:
+    """``s; I[s]`` restores registers and heap."""
+
+    def test_table1_roundtrip_restores_state(self):
+        for name, lowered in _lowered_benchmarks(depth=2):
+            heap = HeapImage(BENCH_CFG)
+            head = heap.add_list([3, 1])
+            inputs = {}
+            for pname, pty in lowered.param_types.items():
+                width = lowered.table.width(pty)
+                inputs[pname] = head if str(pty).startswith("ptr") else min(
+                    2, (1 << width) - 1
+                )
+            memory = heap.as_memory()
+            machine = run_program(
+                seq(lowered.stmt, reverse(lowered.stmt)),
+                lowered.table,
+                dict(inputs),
+                dict(lowered.param_types),
+                memory=list(memory),
+                default_zero=True,
+            )
+            for reg, value in machine.registers.items():
+                expected = inputs.get(reg, 0)
+                assert value == expected, f"{name}: {reg}={value} != {expected}"
+            assert machine.memory == memory, name
+
+    @given(stmt=program_strategy, inputs=input_strategy)
+    @SLOW
+    def test_hypothesis_roundtrip_restores_state(self, stmt, inputs):
+        from repro.types import TypeTable
+
+        machine = run_program(
+            seq(stmt, reverse(stmt)),
+            TypeTable(CFG),
+            dict(inputs),
+            dict(INPUT_TYPES),
+        )
+        for name, value in machine.registers.items():
+            assert value == inputs.get(name, 0), name
+
+    @pytest.mark.parametrize("name", ["length", "length-simplified", "pop_front"])
+    def test_reversed_circuit_restores_ancillae(self, name):
+        """Circuit-level uncomputation: C⁻¹(C|x⟩) = |x⟩ incl. all ancillae."""
+        runner = BenchmarkRunner(BENCH_CFG)
+        depth = None if name in UNSIZED else 2
+        circuit = runner.compile(name, depth).circuit
+        inverse = circuit.inverse()
+        for bits in (0, 1, (1 << circuit.num_qubits) - 1, 0x5A5A % (1 << circuit.num_qubits)):
+            final = classical_sim.run(circuit, bits)
+            assert classical_sim.run(inverse, final) == bits, (name, bits)
