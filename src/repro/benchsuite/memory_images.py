@@ -10,15 +10,30 @@ low bits):
 * ``list`` / ``str`` node ``(value, next)``: ``value | next << word_width``
 * ``node`` (BST) ``(key, (left, right))``:
   ``key | left << addr_width | right << 2*addr_width``
+* value tree (fuzz workloads) ``(value, (left, right))``:
+  ``value | left << word_width | right << (word_width + addr_width)``
+
+The second half of the module works with *shapes* — layout-independent
+descriptions of a structure (a tuple of values for a list, nested
+``(value, left, right)`` tuples for a tree).  Shapes are what the fuzzing
+subsystem randomizes and mutates: any shape lays out to a well-formed heap
+image (acyclic, no sharing, every address in bounds), so shape-level
+mutations are invariant-preserving by construction.  The ``check_*``
+validators verify those invariants on a raw memory image and decode the
+shape back, which is how tests pin the invariants down.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CompilerConfig
 from ..errors import SimulationError
+
+#: a tree shape: ``None`` (empty) or ``(value, left_shape, right_shape)``
+TreeShape = Optional[tuple]
 
 
 @dataclass
@@ -91,6 +106,25 @@ class HeapImage:
         self.write(node_addr, self.encode_tree_node(key_addr, left_addr, right_addr))
         return node_addr
 
+    def encode_value_tree_node(self, value: int, left: int, right: int) -> int:
+        """Encode a ``(value, (left, right))`` node of the fuzz tree type."""
+        w = self.config.word_width
+        a = self.config.addr_width
+        if value >= (1 << w):
+            raise SimulationError(f"value {value} too wide for {w}-bit words")
+        return value | (left << w) | (right << (w + a))
+
+    def add_value_tree(self, tree: TreeShape) -> int:
+        """Lay out a value tree ``(value, left, right)``; returns the root."""
+        if tree is None:
+            return 0
+        value, left, right = tree
+        addr = self.alloc()
+        left_addr = self.add_value_tree(left)
+        right_addr = self.add_value_tree(right)
+        self.write(addr, self.encode_value_tree_node(value, left_addr, right_addr))
+        return addr
+
     def read_list(self, head: int, max_nodes: int = 64) -> List[Tuple[int, int]]:
         """Decode a list into [(value, addr), ...] for assertions."""
         result: List[Tuple[int, int]] = []
@@ -125,3 +159,212 @@ def decode_list_from_memory(
         values.append(cell & mask)
         addr = cell >> w
     return values
+
+
+# ---------------------------------------------------------------- shapes
+def tree_size(tree: TreeShape) -> int:
+    """Number of nodes in a tree shape."""
+    if tree is None:
+        return 0
+    _, left, right = tree
+    return 1 + tree_size(left) + tree_size(right)
+
+
+def tree_depth(tree: TreeShape) -> int:
+    """Depth of a tree shape (0 for the empty tree)."""
+    if tree is None:
+        return 0
+    _, left, right = tree
+    return 1 + max(tree_depth(left), tree_depth(right))
+
+
+def random_list_shape(
+    rng: random.Random, config: CompilerConfig, max_nodes: Optional[int] = None
+) -> Tuple[int, ...]:
+    """A random list shape of length 0..max_nodes (capped by the heap)."""
+    cap = config.heap_cells if max_nodes is None else min(max_nodes, config.heap_cells)
+    length = rng.randint(0, cap)
+    word = 1 << config.word_width
+    return tuple(rng.randrange(word) for _ in range(length))
+
+
+def mutate_list_shape(
+    rng: random.Random,
+    values: Sequence[int],
+    config: CompilerConfig,
+    max_nodes: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """An invariant-preserving mutation of a list shape.
+
+    Every mutation returns a valid shape (length within the heap, values
+    within the word width), so the laid-out image stays well-formed.
+    """
+    cap = config.heap_cells if max_nodes is None else min(max_nodes, config.heap_cells)
+    word = 1 << config.word_width
+    out = list(values)
+    ops = ["tweak", "insert", "delete", "rotate", "reverse"]
+    for _ in range(4):
+        op = rng.choice(ops)
+        if op == "tweak" and out:
+            out[rng.randrange(len(out))] = rng.randrange(word)
+            return tuple(out)
+        if op == "insert" and len(out) < cap:
+            out.insert(rng.randint(0, len(out)), rng.randrange(word))
+            return tuple(out)
+        if op == "delete" and out:
+            del out[rng.randrange(len(out))]
+            return tuple(out)
+        if op == "rotate" and len(out) > 1:
+            k = rng.randrange(1, len(out))
+            return tuple(out[k:] + out[:k])
+        if op == "reverse" and len(out) > 1:
+            return tuple(reversed(out))
+    return random_list_shape(rng, config, max_nodes)
+
+
+def random_tree_shape(
+    rng: random.Random,
+    config: CompilerConfig,
+    max_depth: int,
+    max_nodes: Optional[int] = None,
+) -> TreeShape:
+    """A random tree shape within a depth bound and the heap capacity."""
+    cap = config.heap_cells if max_nodes is None else min(max_nodes, config.heap_cells)
+    word = 1 << config.word_width
+    budget = [rng.randint(0, cap)]
+
+    def build(depth: int) -> TreeShape:
+        if depth <= 0 or budget[0] <= 0 or rng.random() < 0.3:
+            return None
+        budget[0] -= 1
+        value = rng.randrange(word)
+        left = build(depth - 1)
+        right = build(depth - 1)
+        return (value, left, right)
+
+    return build(max_depth)
+
+
+def mutate_tree_shape(
+    rng: random.Random,
+    tree: TreeShape,
+    config: CompilerConfig,
+    max_depth: int,
+    max_nodes: Optional[int] = None,
+) -> TreeShape:
+    """An invariant-preserving mutation of a tree shape."""
+    cap = config.heap_cells if max_nodes is None else min(max_nodes, config.heap_cells)
+    word = 1 << config.word_width
+    if tree is None:
+        if max_depth > 0 and cap > 0:
+            return (rng.randrange(word), None, None)
+        return None
+
+    op = rng.choice(["tweak", "swap", "drop", "grow", "regrow"])
+    if op == "regrow":
+        return random_tree_shape(rng, config, max_depth, max_nodes)
+
+    def at_random_node(node: TreeShape, depth: int) -> TreeShape:
+        if node is None:
+            return None
+        value, left, right = node
+        descend = rng.random()
+        if descend < 0.4 and left is not None:
+            return (value, at_random_node(left, depth - 1), right)
+        if descend < 0.8 and right is not None:
+            return (value, left, at_random_node(right, depth - 1))
+        if op == "tweak":
+            return (rng.randrange(word), left, right)
+        if op == "swap":
+            return (value, right, left)
+        if op == "drop":
+            return (value, None, right) if rng.random() < 0.5 else (value, left, None)
+        # grow: attach a leaf where there is room
+        if depth > 1 and tree_size(tree) < cap:
+            leaf = (rng.randrange(word), None, None)
+            if left is None:
+                return (value, leaf, right)
+            if right is None:
+                return (value, left, leaf)
+        return (value, left, right)
+
+    return at_random_node(tree, max_depth)
+
+
+def list_image(
+    config: CompilerConfig,
+    values: Sequence[int],
+    image: Optional[HeapImage] = None,
+) -> Tuple[HeapImage, int]:
+    """Lay out a list shape; returns (image, head address)."""
+    image = image if image is not None else HeapImage(config)
+    return image, image.add_list(values)
+
+
+def value_tree_image(
+    config: CompilerConfig,
+    tree: TreeShape,
+    image: Optional[HeapImage] = None,
+) -> Tuple[HeapImage, int]:
+    """Lay out a value-tree shape; returns (image, root address)."""
+    image = image if image is not None else HeapImage(config)
+    return image, image.add_value_tree(tree)
+
+
+# ------------------------------------------------------------- validators
+def check_list_well_formed(
+    memory: Sequence[int], head: int, config: CompilerConfig
+) -> Tuple[int, ...]:
+    """Verify the list invariants on a raw memory image; decode the values.
+
+    Invariants: every reachable address lies in ``1..heap_cells``, the
+    chain is acyclic, and the terminator is null (0).  Raises
+    :class:`SimulationError` on any violation.
+    """
+    w = config.word_width
+    mask = (1 << w) - 1
+    values: List[int] = []
+    seen: set = set()
+    addr = head
+    while addr:
+        if not 1 <= addr <= config.heap_cells:
+            raise SimulationError(f"list address {addr} outside the heap")
+        if addr in seen:
+            raise SimulationError(f"cyclic list through address {addr}")
+        seen.add(addr)
+        cell = memory[addr]
+        values.append(cell & mask)
+        addr = cell >> w
+    return tuple(values)
+
+
+def check_tree_well_formed(
+    memory: Sequence[int], root: int, config: CompilerConfig
+) -> TreeShape:
+    """Verify value-tree invariants on a raw memory image; decode the shape.
+
+    Invariants: reachable addresses in bounds, no address reachable twice
+    (acyclicity *and* no sharing between subtrees).  Raises
+    :class:`SimulationError` on any violation.
+    """
+    w = config.word_width
+    a = config.addr_width
+    word_mask = (1 << w) - 1
+    addr_mask = (1 << a) - 1
+    seen: set = set()
+
+    def decode(addr: int) -> TreeShape:
+        if addr == 0:
+            return None
+        if not 1 <= addr <= config.heap_cells:
+            raise SimulationError(f"tree address {addr} outside the heap")
+        if addr in seen:
+            raise SimulationError(f"shared or cyclic tree node at address {addr}")
+        seen.add(addr)
+        cell = memory[addr]
+        value = cell & word_mask
+        left = (cell >> w) & addr_mask
+        right = (cell >> (w + a)) & addr_mask
+        return (value, decode(left), decode(right))
+
+    return decode(root)

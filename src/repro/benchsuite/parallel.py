@@ -409,19 +409,22 @@ def fuzz_tasks(
     optimizations: Union[str, Sequence[str]] = ("none", "spire"),
     optimizers: Sequence[str] = (),
     max_depth: Optional[int] = None,
+    flags: str = "",
 ) -> List[GridTask]:
     """A grid of generated fuzz workloads (see :mod:`repro.fuzz`).
 
-    Each task's name is ``fuzz:<seed>:<index>``, which encodes the program
-    deterministically: every worker process and artifact cache synthesizes
-    the identical source from the name alone.  Generated programs run
-    through exactly the same measure/optimize machinery as the Table 1
-    benchmarks, giving the evaluation a second, shape-diverse workload
-    family.
+    Each task's name is ``fuzz:<seed>:<index>[:<depth>][:<flags>]``, which
+    encodes the program deterministically: every worker process and
+    artifact cache synthesizes the identical source from the name alone.
+    ``flags`` selects workload families (``h`` = superposition via
+    Hadamard statements, ``s`` = well-formed heap shapes with recursive
+    traversals).  Generated programs run through exactly the same
+    measure/optimize machinery as the Table 1 benchmarks, giving the
+    evaluation a second, shape-diverse workload family.
     """
     from ..fuzz.generator import fuzz_name  # lazy: avoid import cycle
 
-    names = [fuzz_name(seed, index, max_depth) for index in range(count)]
+    names = [fuzz_name(seed, index, max_depth, flags) for index in range(count)]
     tasks = measure_tasks(names, [None], optimizations)
     if optimizers:
         tasks += optimizer_tasks(names, [None], list(optimizers))
@@ -477,7 +480,15 @@ def paper_grid(
             "length-simplified", small, ["peephole", "toffoli-cancel"]
         )
     if selector == "fuzz":
-        return fuzz_tasks(optimizers=["peephole", "toffoli-cancel"])
+        # basis-state programs plus the superposition and heap-shape
+        # families of the same seed stream (smaller counts: their circuits
+        # are larger and the families multiply the grid)
+        return (
+            fuzz_tasks(optimizers=["peephole", "toffoli-cancel"])
+            + fuzz_tasks(count=8, flags="h")
+            + fuzz_tasks(count=6, flags="s")
+            + fuzz_tasks(count=4, flags="hs")
+        )
     raise ValueError(
         f"unknown grid selector {selector!r}; "
         "available: fig2, fig15, fig24, table1, table2, smoke, fuzz"

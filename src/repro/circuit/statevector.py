@@ -323,6 +323,50 @@ def sparse_run(
     return amps
 
 
+def fix_global_phase(amps):
+    """Divide out a deterministically chosen global phase.
+
+    The anchor is the amplitude at the *smallest key among those of
+    (near-)maximal magnitude*, rotated to be real and positive.  Picking it
+    by key order (not by float argmax order) keeps the choice stable under
+    the tiny magnitude jitter that different gate orderings introduce, so
+    two states equal up to global phase map to numerically equal dicts.
+    Generic over the key type (basis indices here, named-register branch
+    keys in :mod:`repro.fuzz.oracles`); keys need only be orderable.
+    """
+    if not amps:
+        return {}
+    peak = max(abs(amp) for amp in amps.values())
+    anchor = min(
+        key for key, amp in amps.items() if abs(amp) >= peak * (1.0 - 1e-6)
+    )
+    phase = amps[anchor] / abs(amps[anchor])
+    return {key: amp / phase for key, amp in amps.items()}
+
+
+def canonical_sparse(state: SparseState, tol: float = 1e-9) -> SparseState:
+    """Canonical form of a sparse state: pruned and global-phase-fixed.
+
+    Amplitudes below ``tol`` are dropped, then the global phase is fixed by
+    :func:`fix_global_phase`.
+    """
+    return fix_global_phase(
+        {idx: amp for idx, amp in state.items() if abs(amp) > tol}
+    )
+
+
+def sparse_states_equal(
+    a: SparseState, b: SparseState, tol: float = 1e-7
+) -> bool:
+    """Equality of sparse states up to global phase and ``tol`` per amplitude."""
+    ca = canonical_sparse(a, tol=tol * 1e-2)
+    cb = canonical_sparse(b, tol=tol * 1e-2)
+    for idx in set(ca) | set(cb):
+        if abs(ca.get(idx, 0.0) - cb.get(idx, 0.0)) > tol:
+            return False
+    return True
+
+
 def sparse_is_basis(state: SparseState, bits: int, tol: float = 1e-7) -> bool:
     """Whether a sparse state is |bits⟩ up to global phase."""
     weight = 0.0

@@ -222,80 +222,160 @@ def cmd_bench(args) -> int:
 def cmd_fuzz(args) -> int:
     import time
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from dataclasses import asdict
 
     from .fuzz import GenConfig, OracleConfig, check_generated, shrink
-    from .fuzz.corpus import CorpusCase, save_case
+    from .fuzz.corpus import (
+        CorpusCase,
+        coverage_guided_run,
+        save_case,
+        save_seed_manifest,
+        uniform_run,
+    )
     from .fuzz.generator import (
-        generate_program,
+        generate_workload,
         program_seed,
         render_program,
     )
-    from .fuzz.oracles import OracleFailure, run_oracles
+    from .fuzz.oracles import OracleFailure, oracle_config_for, run_oracles
 
-    gen = GenConfig().scaled(max_depth=args.max_depth)
-    cfg = OracleConfig(
+    gen = GenConfig(
+        hadamard_prob=args.hadamard_prob,
+        heap_shapes=args.heap_shapes,
+    ).scaled(max_depth=args.max_depth)
+    base_cfg = OracleConfig(
         check_optimizers=not args.no_optimizers,
         n_inputs=args.inputs,
     )
-    seeds = [program_seed(args.seed, index) for index in range(args.count)]
+    if args.optimizer_t_cap is not None:
+        from dataclasses import replace as _replace
+
+        base_cfg = _replace(
+            base_cfg,
+            optimizer_t_cap=args.optimizer_t_cap or None,
+        )
+    cfg = oracle_config_for(gen, base_cfg)
     start = time.perf_counter()
     deadline = start + args.time_budget if args.time_budget else None
     reports = []
     checked = 0
+    coverage_regressed = False
     show = sys.stderr.isatty() and not args.quiet
 
-    def note(report):
+    def note(report, total):
         nonlocal checked
         checked += 1
         reports.append(report)
         if show:
             mark = "ok" if report.ok else f"FAIL {report.oracle}"
-            print(f"\r[{checked}/{len(seeds)}] seed {report.seed}: {mark}".ljust(70),
+            print(f"\r[{checked}/{total}] seed {report.seed}: {mark}".ljust(70),
                   end="", file=sys.stderr, flush=True)
 
-    if args.jobs > 1:
-        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
-            outstanding = {
-                pool.submit(check_generated, seed, gen, cfg) for seed in seeds
-            }
-            try:
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        note(future.result())
-                    if deadline and time.perf_counter() > deadline:
-                        for future in outstanding:
-                            future.cancel()
-                        break
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
+    if args.coverage_guided:
+        # coverage collection uses a process-global trace hook: serial only
+        result = coverage_guided_run(
+            args.seed, args.count, gen, cfg,
+            progress=lambda done, total, r: note(r, total),
+            deadline=deadline,
+        )
+        reports = result.reports
+        if show:
+            print(file=sys.stderr)
+        print(result.summary())
+        if args.coverage_baseline:
+            # same realized budget: a deadline may have cut the guided run
+            budget = len(reports)
+            baseline = uniform_run(args.seed, budget, gen, cfg)
+            print(baseline.summary())
+            delta = result.branch_coverage() - baseline.branch_coverage()
+            print(
+                f"coverage-guided vs uniform (same {budget}-program "
+                f"budget): {result.branch_coverage()} vs "
+                f"{baseline.branch_coverage()} branches ({delta:+d})"
+            )
+            if delta <= 0:
+                # deterministic given (seed, count, knobs): a regression
+                # here means the scheduler stopped earning its overhead
+                print(
+                    "error: coverage-guided scheduling did not beat "
+                    "uniform seeding on this budget",
+                    file=sys.stderr,
+                )
+                coverage_regressed = True
+        if args.save_frontier:
+            path = save_seed_manifest(
+                [(entry.seed, entry.gen) for entry in result.frontier],
+                args.save_frontier,
+                comment=(
+                    "Coverage-novel frontier of a coverage-guided fuzz run "
+                    f"(base seed {args.seed}, budget {args.count})."
+                ),
+            )
+            print(f"frontier manifest saved to {path}")
     else:
-        for seed in seeds:
-            note(check_generated(seed, gen, cfg))
-            if deadline and time.perf_counter() > deadline:
-                break
-    if show:
-        print(file=sys.stderr)
+        seeds = [program_seed(args.seed, index) for index in range(args.count)]
+        if args.jobs > 1:
+            with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+                outstanding = {
+                    pool.submit(check_generated, seed, gen, cfg) for seed in seeds
+                }
+                try:
+                    while outstanding:
+                        finished, outstanding = wait(
+                            outstanding, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            note(future.result(), len(seeds))
+                        if deadline and time.perf_counter() > deadline:
+                            for future in outstanding:
+                                future.cancel()
+                            break
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            for seed in seeds:
+                note(check_generated(seed, gen, cfg), len(seeds))
+                if deadline and time.perf_counter() > deadline:
+                    break
+        if show:
+            print(file=sys.stderr)
 
     failures = [r for r in reports if not r.ok]
     elapsed = time.perf_counter() - start
+    mode = " coverage-guided," if args.coverage_guided else ""
     print(
         f"fuzz: {len(reports) - len(failures)}/{len(reports)} programs passed "
         f"all oracles in {elapsed:.1f}s "
-        f"(base seed {args.seed}, {args.jobs} jobs)"
+        f"(base seed {args.seed},{mode} {args.jobs} jobs)"
     )
+    skipped = [
+        r.stats["optimizers_skipped"]
+        for r in reports
+        if r.ok and r.stats.get("optimizers_skipped")
+    ]
+    if skipped:
+        print(
+            f"optimizer baselines skipped on {len(skipped)} oversized "
+            f"programs (Clifford+T T-count > {cfg.optimizer_t_cap}; "
+            f"largest {max(skipped)}); all other oracles still ran"
+        )
     for report in sorted(failures, key=lambda r: r.seed):
         print(f"\nseed {report.seed}: {report.oracle}\n  {report.message}")
         if report.oracle.startswith("crash[generate]"):
             continue  # no program to shrink or save
-        program = generate_program(report.seed, gen, cfg.compiler)
+        report_gen = report.gen if report.gen is not None else gen
+        report_cfg = oracle_config_for(report_gen, cfg)
+        workload = generate_workload(report.seed, report_gen, report_cfg.compiler)
+        program, shapes = workload.program, workload.shapes
         if args.shrink:
 
-            def signature_of(candidate, _seed=report.seed):
+            def signature_of(candidate, _seed=report.seed, _cfg=report_cfg,
+                             _shapes=shapes):
                 try:
-                    run_oracles(candidate, "main", None, cfg, input_seed=_seed)
+                    run_oracles(
+                        candidate, "main", None, _cfg,
+                        input_seed=_seed, shapes=_shapes,
+                    )
                 except OracleFailure as failure:
                     return failure.oracle
                 except Exception:
@@ -317,11 +397,12 @@ def cmd_fuzz(args) -> int:
                 description=report.message or "",
                 seed=report.seed,
                 input_seed=report.seed,
-                compiler=vars(cfg.compiler),
+                compiler=vars(report_cfg.compiler),
+                shapes=[asdict(shape) for shape in shapes],
             )
             path = save_case(case, args.save_failures)
             print(f"  reproducer saved to {path}")
-    return 1 if failures else 0
+    return 1 if failures or coverage_regressed else 0
 
 
 def cmd_resources(args) -> int:
@@ -400,8 +481,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of programs to generate and check")
     p_fuzz.add_argument("--max-depth", type=int, default=None,
                         help="statement-nesting depth knob of the generator")
+    p_fuzz.add_argument("--hadamard-prob", type=float, default=0.0,
+                        help="probability of H(x) statements; programs in "
+                             "superposition are checked by the amplitude "
+                             "oracles (default 0.0)")
+    p_fuzz.add_argument("--heap-shapes", action="store_true",
+                        help="build well-formed lists/trees in the initial "
+                             "heap and generate recursive traversals over "
+                             "them")
+    p_fuzz.add_argument("--coverage-guided", action="store_true",
+                        help="schedule seeds by branch coverage over "
+                             "repro.ir/compiler/circopt (serial; mutates "
+                             "generator knobs from a coverage-novel frontier)")
+    p_fuzz.add_argument("--coverage-baseline", action="store_true",
+                        help="with --coverage-guided: also run the uniform "
+                             "baseline on the same budget and log the "
+                             "coverage comparison")
+    p_fuzz.add_argument("--save-frontier", metavar="PATH", default=None,
+                        help="with --coverage-guided: write the frontier as "
+                             "a seeds.json-style manifest")
     p_fuzz.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (programs are independent)")
+                        help="worker processes (programs are independent; "
+                             "ignored by --coverage-guided runs)")
     p_fuzz.add_argument("--inputs", type=int, default=3,
                         help="basis inputs simulated per program")
     p_fuzz.add_argument("--shrink", action="store_true", default=True,
@@ -410,6 +511,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report failures unshrunk")
     p_fuzz.add_argument("--no-optimizers", action="store_true",
                         help="skip the circuit-optimizer oracles (faster)")
+    p_fuzz.add_argument("--optimizer-t-cap", type=int, default=None,
+                        metavar="T",
+                        help="skip the optimizer baselines on programs whose "
+                             "Clifford+T expansion exceeds T T-gates "
+                             "(deterministic; skips are reported in the "
+                             "summary; 0 = uncapped; default 150000)")
     p_fuzz.add_argument("--time-budget", type=float, default=None,
                         help="stop checking new programs after this many seconds")
     p_fuzz.add_argument("--save-failures", metavar="DIR", default=None,

@@ -24,22 +24,40 @@ selector of :mod:`repro.benchsuite.parallel` (benchmark workloads).
 
 from .generator import (
     DEFAULT_FUZZ_CONFIG,
+    HEAP_FUZZ_CONFIG,
+    FuzzWorkload,
     GenConfig,
+    HeapShapeInfo,
     fuzz_name,
+    gen_for_flags,
     generate_program,
+    generate_workload,
     program_for_spec,
     program_seed,
     render_program,
 )
-from .oracles import OracleConfig, OracleFailure, OracleReport, check_generated, run_oracles
+from .oracles import (
+    OracleConfig,
+    OracleFailure,
+    OracleReport,
+    check_generated,
+    oracle_config_for,
+    run_oracles,
+)
 from .shrink import shrink
 from .corpus import CorpusCase, load_corpus, replay_case, save_case
+from .coverage import CoverageMap, covered_run
 
 __all__ = [
     "DEFAULT_FUZZ_CONFIG",
+    "HEAP_FUZZ_CONFIG",
+    "FuzzWorkload",
     "GenConfig",
+    "HeapShapeInfo",
     "fuzz_name",
+    "gen_for_flags",
     "generate_program",
+    "generate_workload",
     "program_for_spec",
     "program_seed",
     "render_program",
@@ -47,10 +65,13 @@ __all__ = [
     "OracleFailure",
     "OracleReport",
     "check_generated",
+    "oracle_config_for",
     "run_oracles",
     "shrink",
     "CorpusCase",
     "load_corpus",
     "replay_case",
     "save_case",
+    "CoverageMap",
+    "covered_run",
 ]

@@ -1,0 +1,125 @@
+"""Lightweight branch/statement coverage for coverage-guided fuzzing.
+
+The scheduler in :mod:`repro.fuzz.corpus` needs to know whether a candidate
+seed exercised *new* compiler behavior.  This module measures that with a
+``sys.settrace``-based collector — no external dependency, deterministic
+given deterministic execution — scoped to the packages the fuzzing
+subsystem guards hardest (``repro.ir``, ``repro.compiler``,
+``repro.circopt`` by default):
+
+* **statements** — the set of executed ``(file, line)`` pairs;
+* **branches** — the set of executed ``(file, prev_line, line)`` arcs
+  (consecutive line events within one frame, the same notion of arc that
+  coverage.py reports), which distinguishes *paths through* a line from
+  merely reaching it.
+
+Tracing is per-frame: frames outside the target packages return ``None``
+from the global trace function, so the slowdown concentrates on the
+modules being measured.  Collection composes — one :class:`CoverageMap`
+can accumulate many runs — which is what cumulative-coverage scheduling
+needs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Set, Tuple
+
+#: packages whose execution the fuzz scheduler measures
+DEFAULT_PACKAGES: Tuple[str, ...] = (
+    "repro.ir",
+    "repro.compiler",
+    "repro.circopt",
+)
+
+Line = Tuple[str, int]
+Arc = Tuple[str, int, int]
+
+
+@dataclass
+class CoverageMap:
+    """Accumulated statement and branch coverage."""
+
+    lines: Set[Line] = field(default_factory=set)
+    arcs: Set[Arc] = field(default_factory=set)
+
+    def merge(self, other: "CoverageMap") -> None:
+        self.lines |= other.lines
+        self.arcs |= other.arcs
+
+    def novel_arcs(self, other: "CoverageMap") -> Set[Arc]:
+        """Arcs in ``other`` that this map has not seen."""
+        return other.arcs - self.arcs
+
+    def counts(self) -> Dict[str, int]:
+        return {"statements": len(self.lines), "branches": len(self.arcs)}
+
+
+def _package_prefixes(packages: Iterable[str]) -> Tuple[str, ...]:
+    """Filesystem prefixes of the traced packages' source trees."""
+    import importlib
+
+    prefixes = []
+    for name in packages:
+        module = importlib.import_module(name)
+        path = getattr(module, "__file__", None)
+        if path:  # package __init__.py -> its directory
+            prefixes.append(os.path.dirname(os.path.abspath(path)) + os.sep)
+    return tuple(prefixes)
+
+
+class _Collector:
+    """One active trace session (install via ``sys.settrace``)."""
+
+    def __init__(self, prefixes: Tuple[str, ...], coverage: CoverageMap) -> None:
+        self.prefixes = prefixes
+        self.coverage = coverage
+        self._prev: Dict[int, int] = {}
+
+    def global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.prefixes):
+            return None
+        self._prev[id(frame)] = -frame.f_code.co_firstlineno
+        return self.local_trace
+
+    def local_trace(self, frame, event, arg):
+        if event == "line":
+            filename = frame.f_code.co_filename
+            line = frame.f_lineno
+            key = id(frame)
+            prev = self._prev.get(key)
+            self.coverage.lines.add((filename, line))
+            if prev is not None:
+                self.coverage.arcs.add((filename, prev, line))
+            self._prev[key] = line
+        elif event == "return":
+            self._prev.pop(id(frame), None)
+        return self.local_trace
+
+
+def covered_run(
+    fn: Callable[..., Any],
+    *args: Any,
+    packages: Iterable[str] = DEFAULT_PACKAGES,
+    **kwargs: Any,
+) -> Tuple[Any, CoverageMap]:
+    """Run ``fn(*args, **kwargs)`` under the collector.
+
+    Returns ``(result, coverage)``; the function's exceptions propagate
+    after tracing is uninstalled.  Nested ``covered_run`` calls are not
+    supported (``sys.settrace`` is a process-global hook).
+    """
+    coverage = CoverageMap()
+    collector = _Collector(_package_prefixes(packages), coverage)
+    previous = sys.gettrace()
+    sys.settrace(collector.global_trace)
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        sys.settrace(previous)
+    return result, coverage

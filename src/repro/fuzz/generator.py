@@ -76,9 +76,22 @@ from ..types import (
 #: are legal machine states.
 DEFAULT_FUZZ_CONFIG = CompilerConfig(word_width=2, addr_width=2, heap_cells=3)
 
+#: compiler config for heap-shape workloads: a 7-cell heap (again every
+#: pointer bit pattern is valid) so well-formed lists and trees have room
+#: to grow while the circuits stay sparse-simulable.
+HEAP_FUZZ_CONFIG = CompilerConfig(word_width=2, addr_width=3, heap_cells=7)
+
 #: the recursive list type shared with the paper's benchmarks
 LIST = NamedT("list")
 LIST_DECL = TupleT(UINT, PtrT(LIST))
+
+#: the value-tree type of heap-shape workloads: ``(value, (left, right))``
+TREE = NamedT("tree")
+TREE_DECL = TupleT(UINT, TupleT(PtrT(TREE), PtrT(TREE)))
+
+#: hadamard_prob used by the ``h`` fuzz-name flag and ``--hadamard-prob``'s
+#: documented default sweep value.
+FLAG_HADAMARD_PROB = 0.3
 
 
 @dataclass(frozen=True)
@@ -93,10 +106,35 @@ class GenConfig:
     max_rec_bound: int = 3      #: recursion bound at the call site
     heap: bool = True           #: allow pointer types and memory swaps
     unit_prob: float = 0.05     #: probability of unit-typed locals
-    hadamard_prob: float = 0.0  #: H(x) statements (off: no classical oracle)
+    #: probability of H(x) statements; programs containing H are checked by
+    #: the statevector-only amplitude oracles (no classical semantics)
+    hadamard_prob: float = 0.0
+    #: budget on *live inlined* H statements: sparse-simulation support
+    #: grows with 2**(live H count), so calls are charged their callee's
+    #: (transitive) H count, multiplied by the unroll bound for sized calls
+    max_hadamards: int = 4
+    #: build well-formed lists/trees in the initial heap and traverse them
+    heap_shapes: bool = False
 
     def scaled(self, max_depth: Optional[int] = None) -> "GenConfig":
         return replace(self, max_depth=max_depth) if max_depth else self
+
+
+@dataclass(frozen=True)
+class HeapShapeInfo:
+    """One shaped pointer parameter of a generated heap workload."""
+
+    kind: str    #: ``"list"`` or ``"tree"``
+    param: str   #: the entry parameter holding the structure's head/root
+    bound: int   #: recursion bound the traversal is called with
+
+
+@dataclass(frozen=True)
+class FuzzWorkload:
+    """A generated program plus the heap-shape plan its inputs must follow."""
+
+    program: Program
+    shapes: Tuple[HeapShapeInfo, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -107,6 +145,12 @@ class FunInfo:
     param_types: Tuple[Type, ...]
     return_type: Type
     sized: bool
+    #: H statements an inlined call contributes (its own plus, transitively,
+    #: its callees'); sized calls multiply this by the unroll bound.  The
+    #: generator budgets *live inlined* Hadamards, not surface ones —
+    #: sparse-simulation support grows with 2**(live H count), so a helper
+    #: with one H called six times is as expensive as six surface Hs.
+    hadamards: int = 0
 
 
 class _Env:
@@ -184,7 +228,10 @@ class ProgramGenerator:
         self.table = TypeTable(config)
         if gen.heap:
             self.table.declare("list", LIST_DECL)
+        if gen.heap and gen.heap_shapes:
+            self.table.declare("tree", TREE_DECL)
         self._counter = 0
+        self._hadamards = 0
         self.funs: List[FunInfo] = []
         self.fundefs: List[FunDef] = []
 
@@ -402,11 +449,14 @@ class ProgramGenerator:
         return None
 
     def _gen_hadamard(self, env: _Env, depth: int):
+        if self._hadamards >= self.gen.max_hadamards:
+            return None
         if self.rng.random() >= self.gen.hadamard_prob:
             return None
         targets = self._modifiable(env, BOOL)
         if not targets:
             return None
+        self._hadamards += 1
         return [SHadamard(self.rng.choice(targets))]
 
     def _gen_if(self, env: _Env, depth: int):
@@ -448,6 +498,9 @@ class ProgramGenerator:
                 produced = self._gen_call(env, 0)
                 if produced is not None:
                     declared.append(produced[0].name)
+                    # an inlined call may dereference the heap; its reversal
+                    # re-reads the same cells, so the body must not touch them
+                    heap_used = heap_used or self.gen.heap
             elif roll < 0.6:
                 # guarded-value pattern: the setup XOR-re-declares an outer
                 # variable, and the with reversal XORs it back
@@ -504,6 +557,13 @@ class ProgramGenerator:
             if info.sized
             else None
         )
+        if info.hadamards:
+            # inlining replicates the callee's Hadamards (bound+1 times for
+            # sized calls); reject calls that would blow the live-H budget
+            effective = info.hadamards * ((size.offset + 1) if size else 1)
+            if self._hadamards + effective > self.gen.max_hadamards:
+                return None
+            self._hadamards += effective
         target = self.fresh("r")
         env.vars[target] = info.return_type
         return [SLet(target, ECall(info.name, size, tuple(args)), True)]
@@ -519,18 +579,28 @@ class ProgramGenerator:
         name = self.fresh("f")
         params = self._params(self.rng.randint(1, 3))
         env = _Env(dict(params), {p for p, _ in params}, set(), False)
+        h_before = self._hadamards
         body = self.block(env, max(1, self.gen.max_depth - 1))
         ret_ty = self.pick_type(include_unit=False)
         out = self.fresh("out")
         body.append(SLet(out, self.expr(env, ret_ty, self.gen.max_expr_depth, {out}), True))
         self.fundefs.append(FunDef(name, None, params, tuple(body), out, ret_ty))
-        self.funs.append(FunInfo(name, tuple(t for _, t in params), ret_ty, False))
+        self.funs.append(
+            FunInfo(
+                name,
+                tuple(t for _, t in params),
+                ret_ty,
+                False,
+                hadamards=self._hadamards - h_before,
+            )
+        )
 
     def _recursive(self) -> None:
         name = self.fresh("rec")
         params = self._params(self.rng.randint(1, 2))
         ret_ty = self.pick_type(include_unit=False)
         env = _Env(dict(params), {p for p, _ in params}, set(), False)
+        h_before = self._hadamards
 
         cond_name = self.fresh("c")
         cond_expr = self.expr(env, BOOL, self.gen.max_expr_depth, set())
@@ -569,21 +639,190 @@ class ProgramGenerator:
         # out was declared inside the branches; visible after the with
         env.vars[out] = ret_ty
         self.fundefs.append(FunDef(name, "n", params, body, out, ret_ty))
-        self.funs.append(FunInfo(name, tuple(t for _, t in params), ret_ty, True))
+        self.funs.append(
+            FunInfo(
+                name,
+                tuple(t for _, t in params),
+                ret_ty,
+                True,
+                hadamards=self._hadamards - h_before,
+            )
+        )
+
+    # ------------------------------------------------------ heap traversals
+    def _accumulate_step(
+        self, acc: str, value: str, result: str
+    ) -> List[SStmt]:
+        """Statements computing ``result`` from ``acc`` and a node ``value``.
+
+        Variants mirror the Table 1 recurrences: sum-style arithmetic
+        folding, length-style counting, and num_matching-style guarded
+        bumps.  All run inside a ``with`` setup, so their reversal is
+        automatic and the traversal stays correct by construction.
+        """
+        kind = self.rng.choice(["fold", "fold", "count", "match"])
+        if kind == "fold":
+            op = self.rng.choice(["+", "-", "*"])
+            return [SLet(result, EBin(op, EVar(acc), EVar(value)), True)]
+        if kind == "count":
+            return [SLet(result, EBin("+", EVar(acc), EInt(1)), True)]
+        needle = self.rng.randrange(1 << self.config.word_width)
+        hit = self.fresh("hit")
+        bump = self.fresh("bump")
+        return [
+            SLet(hit, EBin("==", EVar(value), EInt(needle)), True),
+            SLet(bump, EDefault(UINT), True),
+            SIf(EVar(hit), (SLet(bump, EInt(1), True),)),
+            SLet(result, EBin("+", EVar(acc), EVar(bump)), True),
+        ]
+
+    def _list_traversal(self) -> FunInfo:
+        """A ``length``/``sum``-style recursive fold over the list type."""
+        name = self.fresh("trav")
+        xs, acc = self.fresh("xs"), self.fresh("acc")
+        e, tmp = self.fresh("e"), self.fresh("tmp")
+        v, nx, r, out = (
+            self.fresh("v"), self.fresh("nx"), self.fresh("r"), self.fresh("out"),
+        )
+        setup: List[SStmt] = [
+            SLet(tmp, EDefault(LIST), True),
+            SMemSwap(xs, tmp),
+            SLet(v, EProj(EVar(tmp), 1), True),
+            SLet(nx, EProj(EVar(tmp), 2), True),
+            *self._accumulate_step(acc, v, r),
+        ]
+        body = (
+            SWith(
+                (SLet(e, EBin("==", EVar(xs), ENull()), True),),
+                (
+                    SIf(
+                        EVar(e),
+                        (SLet(out, EVar(acc), True),),
+                        (
+                            SWith(
+                                tuple(setup),
+                                (
+                                    SLet(
+                                        out,
+                                        ECall(
+                                            name,
+                                            SizeExpr("n", 1),
+                                            (EVar(nx), EVar(r)),
+                                        ),
+                                        True,
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        params = ((xs, PtrT(LIST)), (acc, UINT))
+        self.fundefs.append(FunDef(name, "n", params, body, out, UINT))
+        info = FunInfo(name, (PtrT(LIST), UINT), UINT, True)
+        self.funs.append(info)
+        return info
+
+    def _tree_traversal(self) -> FunInfo:
+        """A two-call recursive fold over the value-tree type."""
+        name = self.fresh("trav")
+        t, acc = self.fresh("t"), self.fresh("acc")
+        e, tmp = self.fresh("e"), self.fresh("tmp")
+        v, kids = self.fresh("v"), self.fresh("kids")
+        lt, rt = self.fresh("lt"), self.fresh("rt")
+        r, mid, out = self.fresh("r"), self.fresh("mid"), self.fresh("out")
+        setup: List[SStmt] = [
+            SLet(tmp, EDefault(TREE), True),
+            SMemSwap(t, tmp),
+            SLet(v, EProj(EVar(tmp), 1), True),
+            SLet(kids, EProj(EVar(tmp), 2), True),
+            SLet(lt, EProj(EVar(kids), 1), True),
+            SLet(rt, EProj(EVar(kids), 2), True),
+            *self._accumulate_step(acc, v, r),
+        ]
+        left_call = ECall(name, SizeExpr("n", 1), (EVar(lt), EVar(r)))
+        right_call = ECall(name, SizeExpr("n", 1), (EVar(rt), EVar(mid)))
+        body = (
+            SWith(
+                (SLet(e, EBin("==", EVar(t), ENull()), True),),
+                (
+                    SIf(
+                        EVar(e),
+                        (SLet(out, EVar(acc), True),),
+                        (
+                            SWith(
+                                tuple(setup),
+                                (
+                                    SWith(
+                                        (SLet(mid, left_call, True),),
+                                        (SLet(out, right_call, True),),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        params = ((t, PtrT(TREE)), (acc, UINT))
+        self.fundefs.append(FunDef(name, "n", params, body, out, UINT))
+        info = FunInfo(name, (PtrT(TREE), UINT), UINT, True)
+        self.funs.append(info)
+        return info
 
     # ---------------------------------------------------------------- driver
     def generate(self) -> Program:
+        return self.generate_workload().program
+
+    def generate_workload(self) -> FuzzWorkload:
         program = Program()
         if self.gen.heap:
             program.typedefs.append(TypeDef("list", LIST_DECL))
+        if self.gen.heap and self.gen.heap_shapes:
+            program.typedefs.append(TypeDef("tree", TREE_DECL))
         for _ in range(self.rng.randint(0, self.gen.max_helpers)):
             self._helper()
         if self.rng.random() < self.gen.recursion_prob:
             self._recursive()
 
-        params = self._params(self.rng.randint(1, 4))
+        shapes: List[HeapShapeInfo] = []
+        shaped_params: List[Tuple[str, Type]] = []
+        prologue: List[SStmt] = []
+        if self.gen.heap and self.gen.heap_shapes:
+            kind = "list" if self.rng.random() < 0.6 else "tree"
+            if kind == "list":
+                info = self._list_traversal()
+                bound = self.rng.randint(2, 4)
+                root_ty: Type = PtrT(LIST)
+            else:
+                info = self._tree_traversal()
+                bound = self.rng.randint(2, 3)
+                root_ty = PtrT(TREE)
+            root = self.fresh("root")
+            start = self.fresh("start")
+            shaped_params = [(root, root_ty), (start, UINT)]
+            shapes.append(HeapShapeInfo(kind, root, bound))
+            target = self.fresh("r")
+            prologue.append(
+                SLet(
+                    target,
+                    ECall(
+                        info.name,
+                        SizeExpr(None, bound),
+                        (EVar(root), EVar(start)),
+                    ),
+                    True,
+                )
+            )
+
+        params = tuple(shaped_params) + self._params(self.rng.randint(1, 4))
         env = _Env(dict(params), set(), set(), False)
-        body = self.block(env, self.gen.max_depth, min_size=2)
+        for stmt in prologue:
+            # the traversal runs first, on the pristine heap image; its
+            # result then feeds the random body like any other variable
+            env.vars[stmt.name] = UINT
+        body = prologue + self.block(env, self.gen.max_depth, min_size=2)
         return_var: Optional[str] = None
         return_type: Optional[Type] = None
         if env.vars and self.rng.random() < 0.85:
@@ -593,7 +832,7 @@ class ProgramGenerator:
         program.fundefs.append(
             FunDef("main", None, params, tuple(body), return_var, return_type)
         )
-        return program
+        return FuzzWorkload(program, tuple(shapes))
 
 
 def _stmt_mentions(stmt: SStmt) -> Set[str]:
@@ -622,19 +861,7 @@ def _stmt_mentions(stmt: SStmt) -> Set[str]:
 
 # ------------------------------------------------------------------ rendering
 def render_type(ty: Type) -> str:
-    if isinstance(ty, UnitT):
-        return "()"
-    if isinstance(ty, UIntT):
-        return "uint"
-    if isinstance(ty, BoolT):
-        return "bool"
-    if isinstance(ty, TupleT):
-        return f"({render_type(ty.first)}, {render_type(ty.second)})"
-    if isinstance(ty, PtrT):
-        return f"ptr<{render_type(ty.elem)}>"
-    if isinstance(ty, NamedT):
-        return ty.name
-    raise ValueError(f"cannot render type {ty!r}")  # pragma: no cover
+    return str(ty)  # Type.__str__ is the Tower surface spelling
 
 
 def render_expr(e: SExpr) -> str:
@@ -726,13 +953,32 @@ def render_program(program: Program) -> str:
 
 
 # ------------------------------------------------------------- entry points
+def default_fuzz_config(gen: GenConfig) -> CompilerConfig:
+    """The compiler config a generator-knob set wants by default.
+
+    Heap-shape workloads need address space for real structures; everything
+    else uses the minimal every-bit-pattern-valid config.
+    """
+    return HEAP_FUZZ_CONFIG if gen.heap_shapes else DEFAULT_FUZZ_CONFIG
+
+
+def generate_workload(
+    seed: int,
+    gen: GenConfig = GenConfig(),
+    config: Optional[CompilerConfig] = None,
+) -> FuzzWorkload:
+    """The deterministic workload (program + heap-shape plan) of one seed."""
+    config = config if config is not None else default_fuzz_config(gen)
+    return ProgramGenerator(seed, gen, config).generate_workload()
+
+
 def generate_program(
     seed: int,
     gen: GenConfig = GenConfig(),
-    config: CompilerConfig = DEFAULT_FUZZ_CONFIG,
+    config: Optional[CompilerConfig] = None,
 ) -> Program:
     """The deterministic program of one seed."""
-    return ProgramGenerator(seed, gen, config).generate()
+    return generate_workload(seed, gen, config).program
 
 
 def program_seed(base_seed: int, index: int) -> int:
@@ -740,25 +986,77 @@ def program_seed(base_seed: int, index: int) -> int:
     return (base_seed * 1_000_003 + index) & 0xFFFFFFFF
 
 
-def fuzz_name(seed: int, index: int, max_depth: Optional[int] = None) -> str:
-    """The benchmark-grid name of one generated program."""
+#: fuzz-name flag characters and the generator knobs they switch on
+_FLAG_KNOBS = {
+    "h": {"hadamard_prob": FLAG_HADAMARD_PROB},
+    "s": {"heap_shapes": True},
+}
+
+
+def gen_for_flags(flags: str, base: Optional[GenConfig] = None) -> GenConfig:
+    """The generator knobs selected by a fuzz-name flag string.
+
+    ``h`` enables Hadamard statements (superposition workloads, checked by
+    the amplitude oracles), ``s`` enables well-formed heap shapes.
+    """
+    gen = base if base is not None else GenConfig()
+    for flag in flags:
+        if flag not in _FLAG_KNOBS:
+            raise ValueError(f"unknown fuzz-name flag {flag!r} in {flags!r}")
+        gen = replace(gen, **_FLAG_KNOBS[flag])
+    return gen
+
+
+def fuzz_name(
+    seed: int,
+    index: int,
+    max_depth: Optional[int] = None,
+    flags: str = "",
+) -> str:
+    """The benchmark-grid name of one generated program.
+
+    ``fuzz:<seed>:<index>[:<max_depth>][:<flags>]`` — flags are the
+    characters of :func:`gen_for_flags` (``h`` = Hadamards, ``s`` = heap
+    shapes), e.g. ``fuzz:0:3:h`` or ``fuzz:7:12:2:hs``.
+    """
     suffix = f":{max_depth}" if max_depth is not None else ""
+    if flags:
+        gen_for_flags(flags)  # validate
+        suffix += f":{flags}"
     return f"fuzz:{seed}:{index}{suffix}"
 
 
+def spec_for_name(name: str) -> Tuple[int, int, GenConfig]:
+    """Parse a fuzz benchmark name into (seed, index, generator knobs)."""
+    parts = name.split(":")
+    if parts[0] != "fuzz" or len(parts) not in (3, 4, 5):
+        raise ValueError(f"not a fuzz benchmark name: {name!r}")
+    seed, index = int(parts[1]), int(parts[2])
+    gen = GenConfig()
+    rest = parts[3:]
+    if rest and rest[0].isdigit():
+        gen = gen.scaled(max_depth=int(rest[0]))
+        rest = rest[1:]
+    if rest:
+        gen = gen_for_flags(rest[0], gen)
+        rest = rest[1:]
+    if rest:
+        raise ValueError(f"malformed fuzz benchmark name: {name!r}")
+    return seed, index, gen
+
+
+def workload_for_spec(name: str) -> Tuple[FuzzWorkload, GenConfig]:
+    """Resolve a fuzz benchmark name to its deterministic workload."""
+    seed, index, gen = spec_for_name(name)
+    return generate_workload(program_seed(seed, index), gen), gen
+
+
 def program_for_spec(name: str) -> Tuple[str, str]:
-    """Resolve ``fuzz:<seed>:<index>[:<max_depth>]`` to (source, entry).
+    """Resolve ``fuzz:<seed>:<index>[:<max_depth>][:<flags>]`` to (source, entry).
 
     This is how generated workloads flow through the benchmark grid: the
     name itself encodes the program, so cache keys, worker processes and
     artifact replays all agree without shipping sources around.
     """
-    parts = name.split(":")
-    if parts[0] != "fuzz" or len(parts) not in (3, 4):
-        raise ValueError(f"not a fuzz benchmark name: {name!r}")
-    seed, index = int(parts[1]), int(parts[2])
-    gen = GenConfig()
-    if len(parts) == 4:
-        gen = gen.scaled(max_depth=int(parts[3]))
-    program = generate_program(program_seed(seed, index), gen)
-    return render_program(program), "main"
+    workload, _ = workload_for_spec(name)
+    return render_program(workload.program), "main"

@@ -146,3 +146,132 @@ class TestShrink:
         a, _ = shrink(program, signature)
         b, _ = shrink(program, signature)
         assert a == b
+
+
+class TestFlaggedNames:
+    def test_flagged_spec_resolution(self):
+        from repro.fuzz.generator import (
+            gen_for_flags,
+            generate_program,
+            spec_for_name,
+        )
+
+        seed, index, gen = spec_for_name("fuzz:3:1:hs")
+        assert (seed, index) == (3, 1)
+        assert gen.hadamard_prob > 0 and gen.heap_shapes
+        source, entry = program_for_spec("fuzz:3:1:hs")
+        assert entry == "main"
+        expected = generate_program(program_seed(3, 1), gen_for_flags("hs"))
+        assert source == render_program(expected)
+
+    def test_depth_and_flags_compose(self):
+        from repro.fuzz.generator import spec_for_name
+
+        _, _, gen = spec_for_name("fuzz:7:12:2:h")
+        assert gen.max_depth == 2 and gen.hadamard_prob > 0
+        assert not gen.heap_shapes
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            fuzz_name(0, 0, None, "q")
+        with pytest.raises(ValueError):
+            program_for_spec("fuzz:0:0:zz")
+
+    def test_flagged_names_through_benchsuite(self):
+        name = fuzz_name(0, 2, None, "s")
+        assert is_unsized(name)
+        assert "tree" in get_source(fuzz_name(0, 0, None, "s")) or "trav" in get_source(name)
+
+
+class TestHeapShapeWorkloads:
+    def test_workload_carries_shapes(self):
+        from repro.fuzz.generator import generate_workload
+
+        gen = GenConfig(heap_shapes=True)
+        for seed in range(8):
+            workload = generate_workload(seed, gen)
+            assert len(workload.shapes) == 1
+            (shape,) = workload.shapes
+            assert shape.kind in ("list", "tree")
+            assert shape.bound >= 2
+            # the shaped parameter exists on main
+            main = workload.program.fun("main")
+            assert any(name == shape.param for name, _ in main.params)
+
+    def test_both_shape_kinds_appear(self):
+        from repro.fuzz.generator import generate_workload
+
+        gen = GenConfig(heap_shapes=True)
+        kinds = {generate_workload(s, gen).shapes[0].kind for s in range(12)}
+        assert kinds == {"list", "tree"}
+
+    def test_traversal_called_first(self):
+        from repro.fuzz.generator import generate_workload
+        from repro.lang.ast import ECall, SLet
+
+        gen = GenConfig(heap_shapes=True)
+        for seed in range(6):
+            workload = generate_workload(seed, gen)
+            first = workload.program.fun("main").body[0]
+            assert isinstance(first, SLet) and isinstance(first.expr, ECall)
+            assert first.expr.func.startswith("trav")
+
+    def test_shaped_programs_typecheck(self):
+        from repro.fuzz.generator import HEAP_FUZZ_CONFIG, generate_workload
+
+        gen = GenConfig(heap_shapes=True)
+        for seed in range(8):
+            workload = generate_workload(seed, gen)
+            lowered = lower_entry(workload.program, "main", None, HEAP_FUZZ_CONFIG)
+            check_program(lowered.stmt, lowered.table, lowered.param_types)
+
+    def test_plain_workload_has_no_shapes(self):
+        from repro.fuzz.generator import generate_workload
+
+        assert generate_workload(0).shapes == ()
+
+
+class TestHadamardBudget:
+    def test_hadamard_statements_bounded(self):
+        gen = GenConfig(hadamard_prob=1.0, max_hadamards=2)
+        for seed in range(10):
+            source = render_program(generate_program(seed, gen))
+            assert source.count("H(") <= 2
+
+    def test_hadamards_appear_with_probability(self):
+        gen = GenConfig(hadamard_prob=0.5)
+        sources = [render_program(generate_program(s, gen)) for s in range(20)]
+        assert any("H(" in source for source in sources)
+
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            GenConfig(hadamard_prob=0.5),
+            GenConfig(hadamard_prob=1.0, max_helpers=3, max_depth=4),
+            GenConfig(hadamard_prob=0.3, heap_shapes=True),
+        ],
+        ids=["default", "helper-heavy", "heap-shapes"],
+    )
+    def test_inlined_hadamard_count_respects_budget(self, gen):
+        """The H budget covers *inlined* multiplicity, not surface count.
+
+        A helper with one H called six times inlines to six live Hadamards
+        (sparse support 2**6); found by the first coverage-guided run as a
+        support-cap blowup, fixed by charging calls their callee's
+        transitive H count times the unroll bound.
+        """
+        from repro.fuzz.generator import default_fuzz_config
+        from repro.ir.core import Hadamard
+        from repro.lang.desugar import lower_entry
+
+        compiler = default_fuzz_config(gen)
+        for seed in range(30):
+            program = generate_program(seed, gen, compiler)
+            lowered = lower_entry(program, "main", None, compiler)
+            live = sum(
+                1 for node in lowered.stmt.walk() if isinstance(node, Hadamard)
+            )
+            assert live <= gen.max_hadamards, (
+                f"seed {seed}: {live} inlined Hadamards exceed the "
+                f"budget of {gen.max_hadamards}"
+            )

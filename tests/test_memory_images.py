@@ -1,0 +1,161 @@
+"""Unit tests for heap-image construction and the shape invariants."""
+
+import random
+
+import pytest
+
+from repro.benchsuite.memory_images import (
+    HeapImage,
+    check_list_well_formed,
+    check_tree_well_formed,
+    decode_list_from_memory,
+    list_image,
+    mutate_list_shape,
+    mutate_tree_shape,
+    random_list_shape,
+    random_tree_shape,
+    tree_depth,
+    tree_size,
+    value_tree_image,
+)
+from repro.config import CompilerConfig
+from repro.errors import SimulationError
+from repro.fuzz.generator import HEAP_FUZZ_CONFIG
+
+CFG = CompilerConfig(word_width=3, addr_width=3, heap_cells=6)
+
+
+class TestHeapImage:
+    def test_alloc_sequential_one_based(self):
+        image = HeapImage(CFG)
+        assert [image.alloc() for _ in range(3)] == [1, 2, 3]
+
+    def test_alloc_exhaustion(self):
+        image = HeapImage(CFG)
+        for _ in range(CFG.heap_cells):
+            image.alloc()
+        with pytest.raises(SimulationError):
+            image.alloc()
+
+    def test_list_layout_and_decode(self):
+        image = HeapImage(CFG)
+        head = image.add_list([5, 2, 7])
+        assert head == 1
+        assert [v for v, _ in image.read_list(head)] == [5, 2, 7]
+        memory = image.as_memory()
+        assert len(memory) == CFG.heap_cells + 1
+        assert memory[0] == 0
+        registers = image.as_registers()
+        assert decode_list_from_memory(registers, head, CFG) == [5, 2, 7]
+
+    def test_empty_list_is_null(self):
+        image = HeapImage(CFG)
+        assert image.add_list([]) == 0
+
+    def test_value_too_wide_rejected(self):
+        image = HeapImage(CFG)
+        with pytest.raises(SimulationError):
+            image.add_list([1 << CFG.word_width])
+
+    def test_value_tree_layout(self):
+        image = HeapImage(CFG)
+        shape = (3, (1, None, None), (2, None, (4, None, None)))
+        root = image.add_value_tree(shape)
+        assert root != 0
+        assert check_tree_well_formed(image.as_memory(), root, CFG) == shape
+
+    def test_empty_tree_is_null(self):
+        image = HeapImage(CFG)
+        assert image.add_value_tree(None) == 0
+
+    def test_bst_tree_layout_still_works(self):
+        image = HeapImage(CFG)
+        root = image.add_tree((([1, 2]), None, None))
+        assert root != 0
+        # the key string is itself a well-formed list
+        key_addr = image.cells[root] & ((1 << CFG.addr_width) - 1)
+        assert check_list_well_formed(image.as_memory(), key_addr, CFG) == (1, 2)
+
+
+class TestWellFormedness:
+    def test_cyclic_list_detected(self):
+        image = HeapImage(CFG)
+        head = image.add_list([1, 2])
+        memory = image.as_memory()
+        # point the tail's next back at the head
+        memory[2] = 2 | (head << CFG.word_width)
+        with pytest.raises(SimulationError):
+            check_list_well_formed(memory, head, CFG)
+
+    def test_out_of_bounds_list_detected(self):
+        image = HeapImage(CFG)
+        head = image.add_list([1])
+        memory = image.as_memory()
+        memory[1] = 1 | (7 << CFG.word_width)  # next = 7 > heap_cells
+        with pytest.raises(SimulationError):
+            check_list_well_formed(memory, head, CFG)
+
+    def test_shared_tree_node_detected(self):
+        image = HeapImage(CFG)
+        leaf = image.add_value_tree((1, None, None))
+        root = image.alloc()
+        # both children point at the same leaf
+        image.write(root, image.encode_value_tree_node(2, leaf, leaf))
+        with pytest.raises(SimulationError):
+            check_tree_well_formed(image.as_memory(), root, CFG)
+
+    def test_cyclic_tree_detected(self):
+        image = HeapImage(CFG)
+        root = image.alloc()
+        image.write(root, image.encode_value_tree_node(1, root, 0))
+        with pytest.raises(SimulationError):
+            check_tree_well_formed(image.as_memory(), root, CFG)
+
+
+class TestShapes:
+    def test_random_list_shapes_lay_out_well_formed(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            values = random_list_shape(rng, HEAP_FUZZ_CONFIG)
+            image, head = list_image(HEAP_FUZZ_CONFIG, values)
+            assert check_list_well_formed(image.as_memory(), head, HEAP_FUZZ_CONFIG) == values
+
+    def test_list_mutations_preserve_invariants(self):
+        rng = random.Random(1)
+        values = random_list_shape(rng, HEAP_FUZZ_CONFIG)
+        for _ in range(100):
+            values = mutate_list_shape(rng, values, HEAP_FUZZ_CONFIG)
+            assert len(values) <= HEAP_FUZZ_CONFIG.heap_cells
+            image, head = list_image(HEAP_FUZZ_CONFIG, values)
+            assert check_list_well_formed(image.as_memory(), head, HEAP_FUZZ_CONFIG) == values
+
+    def test_random_tree_shapes_lay_out_well_formed(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            tree = random_tree_shape(rng, HEAP_FUZZ_CONFIG, max_depth=3)
+            assert tree_depth(tree) <= 3
+            assert tree_size(tree) <= HEAP_FUZZ_CONFIG.heap_cells
+            image, root = value_tree_image(HEAP_FUZZ_CONFIG, tree)
+            assert check_tree_well_formed(image.as_memory(), root, HEAP_FUZZ_CONFIG) == tree
+
+    def test_tree_mutations_preserve_invariants(self):
+        rng = random.Random(3)
+        tree = random_tree_shape(rng, HEAP_FUZZ_CONFIG, max_depth=3)
+        for _ in range(100):
+            tree = mutate_tree_shape(rng, tree, HEAP_FUZZ_CONFIG, max_depth=3)
+            assert tree_size(tree) <= HEAP_FUZZ_CONFIG.heap_cells
+            image, root = value_tree_image(HEAP_FUZZ_CONFIG, tree)
+            assert check_tree_well_formed(image.as_memory(), root, HEAP_FUZZ_CONFIG) == tree
+
+    def test_mutations_are_deterministic(self):
+        a = mutate_list_shape(random.Random(7), (1, 2, 3), HEAP_FUZZ_CONFIG)
+        b = mutate_list_shape(random.Random(7), (1, 2, 3), HEAP_FUZZ_CONFIG)
+        assert a == b
+
+    def test_shapes_reach_empty_and_full(self):
+        rng = random.Random(4)
+        lengths = {
+            len(random_list_shape(rng, HEAP_FUZZ_CONFIG)) for _ in range(200)
+        }
+        assert 0 in lengths
+        assert HEAP_FUZZ_CONFIG.heap_cells in lengths

@@ -1,0 +1,159 @@
+"""Round-trip tests for the .qc circuit serialization format."""
+
+import pytest
+
+from repro.circuit import qc_format
+from repro.circuit.circuit import Circuit, Register
+from repro.circuit.gates import (
+    Gate,
+    GateKind,
+    cnot,
+    h,
+    mcx,
+    s,
+    sdg,
+    swap,
+    t,
+    tdg,
+    toffoli,
+    x,
+    z,
+)
+from repro.errors import ParseError
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    return qc_format.loads(qc_format.dumps(circuit))
+
+
+class TestRoundTrip:
+    def test_single_qubit_gates(self):
+        circuit = Circuit(2, [h(0), t(0), tdg(1), s(1), sdg(0), z(1), x(0)])
+        loaded = roundtrip(circuit)
+        assert loaded.num_qubits == 2
+        assert loaded.gates == circuit.gates
+
+    def test_cnot_and_toffoli(self):
+        circuit = Circuit(4, [cnot(0, 1), toffoli(0, 1, 2), x(3)])
+        loaded = roundtrip(circuit)
+        assert loaded.gates == circuit.gates
+
+    def test_multi_controlled_mcx(self):
+        gate = mcx([0, 1, 2, 3, 5], 4)
+        circuit = Circuit(6, [gate])
+        loaded = roundtrip(circuit)
+        assert loaded.gates == [gate]
+        assert loaded.gates[0].controls == (0, 1, 2, 3, 5)
+        assert loaded.gates[0].target == 4
+
+    def test_swap(self):
+        circuit = Circuit(3, [swap(0, 2)])
+        loaded = roundtrip(circuit)
+        assert loaded.gates[0].kind is GateKind.SWAP
+        assert loaded.gates[0].targets == (0, 2)
+
+    def test_empty_circuit(self):
+        circuit = Circuit(3, [])
+        loaded = roundtrip(circuit)
+        assert loaded.num_qubits == 3
+        assert loaded.gates == []
+
+    def test_wide_circuit_beyond_64_wires(self):
+        """Wire counts past 64 exercise the bigint paths end to end."""
+        n = 70
+        gates = [x(i) for i in range(n)] + [
+            mcx(list(range(64, 69)), 69),
+            cnot(0, 69),
+            h(65),
+        ]
+        circuit = Circuit(n, gates)
+        loaded = roundtrip(circuit)
+        assert loaded.num_qubits == n
+        assert loaded.gates == circuit.gates
+
+    def test_wire_order_follows_v_line(self):
+        text = (
+            ".v a b c\n"
+            ".i a b c\n"
+            "BEGIN\n"
+            "tof c a\n"
+            "END\n"
+        )
+        circuit = qc_format.loads(text)
+        assert circuit.num_qubits == 3
+        assert circuit.gates[0].controls == (2,)
+        assert circuit.gates[0].target == 0
+
+
+class TestRegisterNames:
+    def test_register_map_names_wires(self):
+        circuit = Circuit(3, [cnot(0, 2)])
+        circuit.add_register(Register("x", 0, 2))
+        circuit.add_register(Register("flag", 2, 1))
+        text = qc_format.dumps(circuit)
+        assert ".v x_0 x_1 flag" in text
+        loaded = qc_format.loads(text)
+        assert loaded.gates == circuit.gates
+
+    def test_duplicate_wire_names_are_uniqued(self):
+        circuit = Circuit(2, [cnot(0, 1)])
+        circuit.add_register(Register("x", 0, 1))
+        circuit.add_register(Register("x", 1, 1))
+        text = qc_format.dumps(circuit)
+        loaded = qc_format.loads(text)
+        assert loaded.gates == circuit.gates
+
+    def test_scratch_register_is_sanitized(self):
+        circuit = Circuit(2, [x(1)])
+        circuit.add_register(Register("%scratch", 1, 1))
+        text = qc_format.dumps(circuit)
+        assert "%" not in text.splitlines()[0]
+        assert qc_format.loads(text).gates == circuit.gates
+
+
+class TestErrors:
+    def test_controlled_swap_rejected(self):
+        gate = Gate(GateKind.SWAP, (0,), (1, 2))
+        with pytest.raises(ParseError):
+            qc_format.dumps(Circuit(3, [gate]))
+
+    def test_controlled_phase_rejected(self):
+        gate = Gate(GateKind.T, (0,), (1,))
+        with pytest.raises(ParseError):
+            qc_format.dumps(Circuit(2, [gate]))
+
+    def test_unknown_wire_rejected(self):
+        text = ".v a\nBEGIN\ntof b\nEND\n"
+        with pytest.raises(ParseError):
+            qc_format.loads(text)
+
+    def test_duplicate_wire_rejected(self):
+        with pytest.raises(ParseError):
+            qc_format.loads(".v a a\nBEGIN\nEND\n")
+
+    def test_gate_outside_body_rejected(self):
+        with pytest.raises(ParseError):
+            qc_format.loads(".v a\ntof a\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            qc_format.loads(".v a\nBEGIN\nfoo a\nEND\n")
+
+
+class TestFiles:
+    def test_dump_load_file(self, tmp_path):
+        circuit = Circuit(3, [toffoli(0, 1, 2), h(1)])
+        path = tmp_path / "circuit.qc"
+        qc_format.dump(circuit, str(path))
+        assert qc_format.load(str(path)).gates == circuit.gates
+
+    def test_compiled_program_roundtrips(self, tiny_config):
+        from repro.compiler import compile_source
+
+        source = (
+            "fun main(x: uint) -> uint {\n"
+            "  let y <- x + 1;\n  return y;\n}\n"
+        )
+        compiled = compile_source(source, "main", None, tiny_config)
+        loaded = roundtrip(compiled.circuit)
+        assert loaded.gates == compiled.circuit.gates

@@ -159,3 +159,55 @@ class TestQcFormat:
         text = ".v a b\n\n# comment\nBEGIN\ntof a b\nEND\n"
         parsed = qc_format.loads(text)
         assert parsed.gates == [cnot(0, 1)]
+
+
+class TestSparseCanonicalization:
+    def test_canonical_fixes_global_phase(self):
+        from repro.circuit.statevector import canonical_sparse
+
+        state = {0: 0.5 + 0.5j, 3: -0.5 - 0.5j}
+        canon = canonical_sparse(state)
+        anchor = canon[0]
+        assert abs(anchor.imag) < 1e-12 and anchor.real > 0
+
+    def test_prunes_small_amplitudes(self):
+        from repro.circuit.statevector import canonical_sparse
+
+        canon = canonical_sparse({0: 1.0, 5: 1e-15})
+        assert 5 not in canon
+
+    def test_states_equal_up_to_phase(self):
+        import cmath
+
+        from repro.circuit.statevector import sparse_states_equal
+
+        a = {0: 1 / math.sqrt(2), 2: 1 / math.sqrt(2)}
+        phase = cmath.exp(1j * 0.73)
+        b = {idx: amp * phase for idx, amp in a.items()}
+        assert sparse_states_equal(a, b)
+
+    def test_states_differ_in_amplitude(self):
+        from repro.circuit.statevector import sparse_states_equal
+
+        a = {0: 1 / math.sqrt(2), 2: 1 / math.sqrt(2)}
+        b = {0: 1 / math.sqrt(2), 2: -1 / math.sqrt(2)}
+        assert not sparse_states_equal(a, b)
+
+    def test_states_differ_in_support(self):
+        from repro.circuit.statevector import sparse_states_equal
+
+        assert not sparse_states_equal({0: 1.0}, {1: 1.0})
+
+    def test_matches_dense_up_to_phase_on_h_circuit(self):
+        from repro.circuit.statevector import (
+            sparse_run,
+            sparse_states_equal,
+            sparse_to_dense,
+        )
+
+        circ = Circuit(3, [h(0), cnot(0, 1), t(1), h(2), z(2)])
+        amps = sparse_run(circ, 0b100)
+        dense = run(circ, basis_state(3, 0b100))
+        assert states_equal(dense, sparse_to_dense(amps, 3))
+        again = sparse_run(circ, 0b100)
+        assert sparse_states_equal(amps, again)
