@@ -150,6 +150,40 @@ def _grid_section(mode: str) -> dict:
     }
 
 
+def _passes_section(mode: str) -> list:
+    """Per-pass timing breakdown of full pipelines (pass-manager records).
+
+    Future perf PRs read this to target the slowest pass; the entries are
+    informational (wall clocks), but each must carry a complete record
+    list — one row per executed pass, IR rewrites fused as in production.
+    """
+    from repro.benchsuite import get_entry, get_source
+    from repro.compiler import compile_source
+
+    points = [("length", 2)] if mode == "quick" else [("length", 4), ("sum", 3)]
+    pipelines = ["spire+peephole", "spire+zx-like"]
+    entries = []
+    for name, depth in points:
+        for spec in pipelines:
+            compiled = compile_source(
+                get_source(name), get_entry(name), depth, CONFIG, spec
+            )
+            records = compiled.pass_records
+            slowest = max(records, key=lambda r: r.seconds)
+            entries.append(
+                {
+                    "benchmark": name,
+                    "depth": depth,
+                    "pipeline": compiled.pipeline,
+                    "t_count": compiled.circuit.t_count(),
+                    "passes": [r.row() for r in records],
+                    "slowest_pass": slowest.name,
+                    "slowest_seconds": round(slowest.seconds, 4),
+                }
+            )
+    return entries
+
+
 def collect(mode: str) -> dict:
     """Measure every point and return the report dict."""
     runner = BenchmarkRunner(CONFIG)
@@ -203,6 +237,7 @@ def collect(mode: str) -> dict:
         sim_new += new_s
 
     report["grid"] = _grid_section(mode)
+    report["passes"] = _passes_section(mode)
     report["summary"] = {
         "peephole_speedup": round(seed_totals["peephole"] / new_totals["peephole"], 2),
         "rotation_merge_speedup": round(
@@ -243,6 +278,15 @@ def _print_report(report: dict) -> None:
         f"grid {grid['grid']} ({grid['points']} points): cold {grid['cold_seconds']}s, "
         f"warm {grid['warm_seconds']}s (ratio {grid['warm_over_cold']})"
     )
+    for entry in report["passes"]:
+        breakdown = " ".join(
+            f"{row['pass']}={row['seconds']:.4f}s" for row in entry["passes"]
+        )
+        print(
+            f"pipeline {entry['benchmark']}@{entry['depth']} "
+            f"[{entry['pipeline']}]: slowest={entry['slowest_pass']} "
+            f"({breakdown})"
+        )
     for key, value in report["summary"].items():
         print(f"  {key}: {value}")
 
@@ -256,6 +300,11 @@ def _check(report: dict) -> list:
         failures.append("warm grid replay differs from cold measurements")
     if not grid["all_cached_on_warm"]:
         failures.append("warm grid run had cold points (cache not replaying)")
+    for entry in report["passes"]:
+        if not entry["passes"]:
+            failures.append(
+                f"pipeline {entry['pipeline']} produced no pass records"
+            )
     if report["mode"] == "quick":
         # CI smoke run: shared runners make wall-clock floors flaky, so the
         # quick mode only enforces the bit-for-bit output checks

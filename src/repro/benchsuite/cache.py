@@ -17,12 +17,22 @@ The key is a SHA-256 over the complete provenance of the artifact:
 * the SHA-256 of the benchmark's Tower **source text**,
 * the entry function name,
 * every :class:`~repro.config.CompilerConfig` field,
-* the recursion depth and program-level optimization,
-* the circuit-optimizer name and its parameters (``None`` for compiles),
+* the recursion depth,
+* the **canonical pipeline spec** (:func:`repro.passes.canonical_pipeline`)
+  — presets, raw specs and the legacy (optimization, optimizer, params)
+  triple all collapse onto one canonical string that embeds every
+  per-pass parameter, so two pipelines sharing an optimization name but
+  differing in circopt parameters can never collide,
 * the package version, the snapshot format version, and a
   :func:`code_fingerprint` of the installed ``repro`` package source —
   so editing the compiler or an optimizer during development invalidates
   every measurement it could have changed, not just on release bumps.
+
+Because keys are per-pipeline-spec, every *prefix* of a pipeline has its
+own entry: the benchmark runner stores the compiled circuit at each
+replayable cut point (after ``lower`` and after each gate pass), so a
+sweep whose pipeline shares a prefix with an earlier sweep resumes from
+the stored snapshot instead of recompiling the earlier stages.
 
 Changing any component — editing a benchmark program, widening a word,
 patching an optimizer, upgrading the package — therefore misses cleanly
@@ -46,6 +56,7 @@ from .._version import __version__
 from ..circuit.circuit import Circuit
 from ..circuit import snapshot
 from ..config import CompilerConfig
+from ..passes.pipeline import canonical_pipeline
 
 POINT_FILE = "point.json"
 CIRCUIT_FILE = "circuit.rqcs"
@@ -84,19 +95,36 @@ def task_key(
     optimization: str = "none",
     optimizer: Optional[str] = None,
     params: Optional[Dict[str, Any]] = None,
+    pipeline: Optional[str] = None,
+    kind: Optional[str] = None,
     version: str = __version__,
     code: Optional[str] = None,
 ) -> str:
-    """The content address of one grid point (hex SHA-256)."""
+    """The content address of one grid point (hex SHA-256).
+
+    The pipeline may be given directly (a canonical spec string) or
+    through the legacy (optimization, optimizer, params) triple; both
+    collapse to the same canonical spec, which embeds every per-pass
+    parameter in the fingerprint.
+
+    ``kind`` separates the two row shapes sharing a pipeline: ``measure``
+    rows (compile metrics + circuit snapshots, also the pipeline-prefix
+    namespace) and ``optimize`` rows (optimizer-baseline measurements).
+    It defaults to ``optimize`` when a legacy ``optimizer`` is given and
+    ``measure`` otherwise, matching the runner's two entry points.
+    """
+    if pipeline is None:
+        pipeline = canonical_pipeline(optimization, optimizer, params)
+    if kind is None:
+        kind = "optimize" if optimizer is not None else "measure"
     blob = json.dumps(
         {
             "source_sha": source_sha(source),
             "entry": entry,
             "config": asdict(config),
             "depth": depth,
-            "optimization": optimization,
-            "optimizer": optimizer,
-            "params": sorted((params or {}).items()),
+            "pipeline": pipeline,
+            "kind": kind,
             "version": version,
             "code": code if code is not None else code_fingerprint(),
             "snapshot_format": snapshot.FORMAT_VERSION,

@@ -294,7 +294,11 @@ class ParallelBackend(ExecutionBackend):
                     else:
                         row = dict(row)
                         row["cached"] = True
-                        # contract: wall_seconds is THIS call's wall clock
+                        # contract: wall_seconds is THIS call's wall clock,
+                        # and the optimization label is as the task spelled
+                        # it (rows are cached under the canonical pipeline
+                        # spec, which may be a different spelling)
+                        row["optimization"] = task.optimization
                         row["wall_seconds"] = time.perf_counter() - lookup_start
                         rows[i] = row
                         done += 1

@@ -33,6 +33,8 @@ from ..circuit.circuit import Circuit
 from ..circuit.decompose import DecompositionCache
 from ..compiler.pipeline import CompiledProgram, compile_program
 from ..config import DEFAULT, CompilerConfig
+from ..passes.manager import PassManager
+from ..passes.pipeline import canonical_pipeline, resolve_pipeline
 from ..cost.asymptotics import FitReport, fit_report
 from ..cost.exact import exact_counts
 from ..cost.model import PaperCostModel
@@ -66,6 +68,11 @@ class BenchmarkPoint:
     wall_seconds: float = 0.0
     cached: bool = False
     timings: Dict[str, float] = field(default_factory=dict)
+    #: canonical pipeline spec the point was produced by
+    pipeline: str = ""
+    #: canonical spec of the cached pipeline prefix this point resumed
+    #: from (empty when compiled cold or replayed in full)
+    prefix_cached: str = ""
 
     def row(self) -> Dict[str, Any]:
         """The point as a JSON-ready measurement row."""
@@ -134,10 +141,15 @@ class BenchmarkRunner:
     def compile(
         self, name: str, depth: Optional[int] = None, optimization: str = "none"
     ) -> CompiledProgram:
-        """Compile a benchmark (cached)."""
+        """Compile a benchmark (cached).
+
+        ``optimization`` may be a preset, a ``preset+gatepass`` form, or a
+        raw pipeline spec; the in-memory memo is keyed by the canonical
+        pipeline spec, so equivalent spellings share one compile.
+        """
         if is_unsized(name):
             depth = None
-        key = (name, depth, optimization)
+        key = (name, depth, canonical_pipeline(optimization))
         if key not in self._compiled:
             self._compiled[key] = compile_program(
                 self.program(name),
@@ -145,6 +157,8 @@ class BenchmarkRunner:
                 size=depth,
                 config=self.config,
                 optimization=optimization,
+                keep_snapshots=self.cache is not None,
+                decomposition_cache=self.decomposition_cache,
             )
         return self._compiled[key]
 
@@ -162,9 +176,18 @@ class BenchmarkRunner:
             entry=get_entry(name),
             config=self.config,
             depth=depth,
-            optimization=optimization,
-            optimizer=optimizer,
-            params=params,
+            pipeline=canonical_pipeline(optimization, optimizer, params),
+            kind="optimize" if optimizer is not None else "measure",
+        )
+
+    def _prefix_key(self, name: str, depth: Optional[int], spec: str) -> str:
+        """A task key for an explicit canonical pipeline spec."""
+        return self.cache.key(
+            source=get_source(name),
+            entry=get_entry(name),
+            config=self.config,
+            depth=depth,
+            pipeline=spec,
         )
 
     def _circuit_for(
@@ -177,7 +200,7 @@ class BenchmarkRunner:
         """
         if is_unsized(name):
             depth = None
-        key = (name, depth, optimization)
+        key = (name, depth, canonical_pipeline(optimization))
         if key in self._compiled:
             return self._compiled[key].circuit
         if key in self._loaded:
@@ -195,20 +218,35 @@ class BenchmarkRunner:
     def measure(
         self, name: str, depth: Optional[int] = None, optimization: str = "none"
     ) -> BenchmarkPoint:
-        """Compile (or replay) one grid point and report its metrics."""
+        """Compile (or replay) one grid point and report its metrics.
+
+        With an artifact cache attached, a full-pipeline hit replays the
+        stored row; otherwise the runner probes the pipeline's *prefixes*
+        (longest first) for a stored circuit snapshot and resumes only the
+        remaining gate passes — editing a late pass never recompiles the
+        earlier stages.
+        """
         if is_unsized(name):
             depth = None
+        pipeline = resolve_pipeline(optimization)
+        spec = pipeline.spec()
         start = time.perf_counter()
         cache_key = None
         if self.cache is not None:
-            cache_key = self._task_key(name, depth, optimization)
+            cache_key = self._prefix_key(name, depth, spec)
             row = self.cache.load_point(cache_key)
             if row is not None:
                 row = dict(row)
                 row["cached"] = True
+                row["optimization"] = optimization
                 row["wall_seconds"] = time.perf_counter() - start
                 return BenchmarkPoint(**row)
-        cold = (name, depth, optimization) not in self._compiled
+            resumed = self._measure_from_prefix(
+                name, depth, optimization, pipeline, cache_key, start
+            )
+            if resumed is not None:
+                return resumed
+        cold = (name, depth, spec) not in self._compiled
         compiled = self.compile(name, depth, optimization)
         model = PaperCostModel(compiled.table, compiled.var_types, compiled.cell_bits)
         report = model.report(compiled.core)
@@ -225,13 +263,144 @@ class BenchmarkRunner:
             wall_seconds=time.perf_counter() - start,
             cached=not cold,
             timings=dict(compiled.timings),
+            pipeline=spec,
         )
         if cache_key is not None:
             stored = point.row()
             stored["cached"] = False
             self.cache.store_point(cache_key, stored)
             self.cache.store_circuit(cache_key, compiled.circuit)
+            self._store_prefix_artifacts(name, depth, compiled, point)
         return point
+
+    def _measure_from_prefix(
+        self,
+        name: str,
+        depth: Optional[int],
+        optimization: str,
+        pipeline,
+        cache_key: str,
+        start: float,
+    ) -> Optional[BenchmarkPoint]:
+        """Resume a pipeline from its longest cached prefix snapshot."""
+        if not pipeline.gate_passes:
+            return None
+        for prefix in pipeline.gate_prefixes():
+            prefix_spec = prefix.spec()
+            prefix_key = self._prefix_key(name, depth, prefix_spec)
+            prow = self.cache.load_point(prefix_key)
+            if prow is None:
+                continue
+            circuit = self.cache.load_circuit(prefix_key)
+            if circuit is None:
+                continue
+            manager = PassManager(
+                pipeline, decomposition_cache=self.decomposition_cache
+            )
+            final, records, snapshots = manager.run_gate_suffix(
+                circuit, start=len(prefix.passes)
+            )
+            timings = dict(prow.get("timings", {}))
+            timings.update({f"opt:{r.name}": r.seconds for r in records})
+            point = BenchmarkPoint(
+                name=name,
+                depth=depth,
+                optimization=optimization,
+                mcx=final.mcx_complexity(),
+                t=final.t_complexity(),
+                qubits=final.num_qubits,
+                compile_seconds=prow["compile_seconds"]
+                + sum(r.seconds for r in records),
+                predicted_mcx=prow["predicted_mcx"],
+                predicted_t=prow["predicted_t"],
+                wall_seconds=time.perf_counter() - start,
+                cached=False,
+                timings=timings,
+                pipeline=pipeline.spec(),
+                prefix_cached=prefix_spec,
+            )
+            stored = point.row()
+            self.cache.store_point(cache_key, stored)
+            for j, (snap_spec, snap_circuit) in enumerate(snapshots):
+                snap_key = self._prefix_key(name, depth, snap_spec)
+                self.cache.store_circuit(snap_key, snap_circuit)
+                if snap_spec == point.pipeline:
+                    continue  # the full point row is already stored
+                # synthesize the intermediate prefix's measure row too, so
+                # an even-longer pipeline later resumes from *this* cut
+                # point instead of re-running the suffix from `prefix`
+                snap_timings = dict(prow.get("timings", {}))
+                snap_timings.update(
+                    {f"opt:{r.name}": r.seconds for r in records[: j + 1]}
+                )
+                self.cache.store_point(
+                    snap_key,
+                    BenchmarkPoint(
+                        name=name,
+                        depth=depth,
+                        optimization=snap_spec,
+                        mcx=snap_circuit.mcx_complexity(),
+                        t=snap_circuit.t_complexity(),
+                        qubits=snap_circuit.num_qubits,
+                        compile_seconds=prow["compile_seconds"]
+                        + sum(r.seconds for r in records[: j + 1]),
+                        predicted_mcx=prow["predicted_mcx"],
+                        predicted_t=prow["predicted_t"],
+                        cached=False,
+                        timings=snap_timings,
+                        pipeline=snap_spec,
+                        prefix_cached=prefix_spec,
+                    ).row(),
+                )
+            return point
+        return None
+
+    def _store_prefix_artifacts(
+        self,
+        name: str,
+        depth: Optional[int],
+        compiled: CompiledProgram,
+        point: BenchmarkPoint,
+    ) -> None:
+        """Persist every pipeline-prefix snapshot of a cold compile.
+
+        Each replayable cut point (after ``lower``, after each gate pass)
+        gets its own circuit snapshot *and* a synthesized measure row —
+        identical to what measuring that prefix pipeline directly would
+        record — so later sweeps sharing any prefix resume warm.
+        """
+        if not compiled.snapshots:
+            return
+        legacy = {
+            k: v
+            for k, v in compiled.timings.items()
+            if not k.startswith("opt:")
+        }
+        gate_records = [r for r in compiled.pass_records if r.stage == "gates"]
+        for i, (snap_spec, snap_circuit) in enumerate(compiled.snapshots):
+            if snap_spec == compiled.pipeline:
+                continue  # the full artifact is stored by the caller
+            key = self._prefix_key(name, depth, snap_spec)
+            timings = dict(legacy)
+            timings.update(
+                {f"opt:{r.name}": r.seconds for r in gate_records[:i]}
+            )
+            row = BenchmarkPoint(
+                name=name,
+                depth=depth,
+                optimization=snap_spec,
+                mcx=snap_circuit.mcx_complexity(),
+                t=snap_circuit.t_complexity(),
+                qubits=snap_circuit.num_qubits,
+                compile_seconds=sum(timings.values()),
+                predicted_mcx=point.predicted_mcx,
+                predicted_t=point.predicted_t,
+                cached=False,
+                timings=timings,
+                pipeline=snap_spec,
+            ).row()
+            self.cache.store_point(key, row)
+            self.cache.store_circuit(key, snap_circuit)
 
     def scaling(
         self,
@@ -310,6 +479,7 @@ class BenchmarkRunner:
             if row is not None:
                 row = dict(row)
                 row["cached"] = True
+                row["optimization"] = optimization
                 row["wall_seconds"] = time.perf_counter() - start
                 return OptimizerPoint(**row)
         result = self.optimize_circuit(name, depth, optimizer, optimization, **kwargs)

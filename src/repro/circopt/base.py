@@ -124,11 +124,16 @@ def register(cls):
 
 def get_optimizer(name: str, **kwargs) -> CircuitOptimizer:
     """Instantiate a registered optimizer by name."""
+    return optimizer_class(name)(**kwargs)
+
+
+def optimizer_class(name: str):
+    """The registered optimizer class (metadata access without instancing)."""
     if name not in _REGISTRY:
         raise KeyError(
             f"unknown optimizer {name!r}; available: {sorted(_REGISTRY)}"
         )
-    return _REGISTRY[name](**kwargs)
+    return _REGISTRY[name]
 
 
 def optimizer_names() -> List[str]:

@@ -8,21 +8,33 @@ Commands:
 * ``optimizers`` — run the circuit-optimizer baselines on the compiled
   circuit and compare T-counts;
 * ``resources`` — full resource report (T-count, T-depth, qubits);
+* ``passes`` — list the registered pipeline passes (stage, declared
+  invariants, description) and the named presets;
 * ``bench`` — reproduce the paper's evaluation grids (tables/figures)
   through the parallel, cache-backed grid runner, writing JSON artifacts;
+  ``--pipeline`` sweeps a custom pass pipeline instead of a paper grid,
+  with pass-granular warm replays from the artifact cache;
 * ``fuzz`` — differential fuzzing: generated well-typed Tower programs
   checked end-to-end (interpreter vs. circuit vs. statevector, reversal
   round-trips, optimizer semantics and T-counts, exact cost model), with
-  deterministic seeds and automatic shrinking of failures.
+  deterministic seeds, automatic shrinking of failures, and pipeline
+  bisection of semantic defects; ``--corpus`` replays the checked-in
+  reproducer corpus, ``--verify-passes`` adds between-pass invariant
+  checks to every compile.
 
 Examples::
 
     python -m repro compile examples/length.twr --entry length --size 5 \\
         --optimize spire --emit out.qc
+    python -m repro compile examples/length.twr --entry length --size 5 \\
+        --pipeline "flatten,narrow,alloc,lower,peephole(window=32)" \\
+        --verify-passes
     python -m repro bench --select fig15 table1 --jobs 8 \\
         --cache-dir .bench-cache --out bench_artifacts
+    python -m repro bench --pipeline spire+zx-like --cache-dir .bench-cache
     python -m repro fuzz --seed 0 --count 200 --jobs 4 \\
         --save-failures tests/corpus/cases
+    python -m repro fuzz --corpus tests/corpus --verify-passes
 """
 
 from __future__ import annotations
@@ -68,16 +80,47 @@ def _read(path: str) -> str:
 
 def cmd_compile(args) -> int:
     source = _read(args.file)
-    compiled = compile_source(source, args.entry, args.size, _config(args), args.optimize)
+    optimization = args.pipeline if args.pipeline else args.optimize
+    compiled = compile_source(
+        source, args.entry, args.size, _config(args), optimization,
+        verify=args.verify_passes,
+    )
     print(f"entry         : {args.entry}"
           + (f"[{args.size}]" if args.size is not None else ""))
-    print(f"optimization  : {args.optimize}")
+    print(f"optimization  : {optimization}")
+    print(f"pipeline      : {compiled.pipeline}")
     print(f"qubits        : {compiled.num_qubits()}")
     print(f"MCX-complexity: {compiled.mcx_complexity()}")
     print(f"T-complexity  : {compiled.t_complexity()}")
+    if args.show_passes or args.verify_passes:
+        for record in compiled.pass_records:
+            checked = (
+                f"  verified: {', '.join(record.verified)}"
+                if record.verified else ""
+            )
+            print(f"  pass {record.name:<18} [{record.stage:<5}] "
+                  f"{record.seconds * 1000:8.2f} ms{checked}")
     if args.emit:
         qc_format.dump(compiled.circuit, args.emit)
         print(f"wrote {args.emit}")
+    return 0
+
+
+def cmd_passes(args) -> int:
+    from .passes import PRESETS, canonical_pipeline, pass_catalog
+
+    print("registered passes (pipeline order: ir -> alloc,lower -> gates):")
+    for row in pass_catalog():
+        invariants = ", ".join(row["invariants"]) or "-"
+        fused = f"  (fuses via {row['engine']!r} engine)" if row["engine"] else ""
+        print(f"  {row['name']:<16} stage={row['stage']:<6} "
+              f"invariants: {invariants}{fused}")
+        if row["description"]:
+            print(f"      {row['description']}")
+    print("\npresets (the historical optimization levels):")
+    for preset in sorted(PRESETS):
+        print(f"  {preset:<10} -> {canonical_pipeline(preset)}")
+    print("\nappend gate passes with '+', e.g. spire+peephole(window=32)")
     return 0
 
 
@@ -152,6 +195,11 @@ def cmd_bench(args) -> int:
     if not selectors:
         selectors = [s for s in GRID_SELECTORS if s != "smoke"]
     depths = _parse_depths(args.depths) if args.depths else default_depths()
+    if args.pipeline:
+        # custom-pipeline sweeps default to a small depth slice: they
+        # exercise the pass manager and the pass-granular cache, not the
+        # paper's full grids
+        depths = _parse_depths(args.depths) if args.depths else [2, 3]
     tree_depths = (
         _parse_depths(args.tree_depths) if args.tree_depths else list(range(2, 9))
     )
@@ -179,15 +227,32 @@ def cmd_bench(args) -> int:
             print(f"\r[{done}/{total}] {row['name']}{mark}".ljust(60),
                   end="", file=sys.stderr, flush=True)
 
+    if args.pipeline:
+        from .benchsuite import measure_tasks
+        from .passes import canonical_pipeline
+
+        canonical_pipeline(args.pipeline)  # validate the spec up front
+        names = args.benchmarks or ["length", "length-simplified"]
+        grids = [("pipeline", measure_tasks(names, depths, [args.pipeline]))]
+    else:
+        grids = [
+            (selector, paper_grid(selector, depths, tree_depths))
+            for selector in selectors
+        ]
+
     all_cached = True
-    for selector in selectors:
-        tasks = paper_grid(selector, depths, tree_depths)
+    all_warm = True
+    for selector, tasks in grids:
         start = time.perf_counter()
         result = runner.run_grid(tasks, progress=progress)
         elapsed = time.perf_counter() - start
         if show:
             print(file=sys.stderr)
         all_cached = all_cached and result.cached_fraction() == 1.0
+        all_warm = all_warm and all(
+            row.get("cached") or row.get("prefix_cached")
+            for row in result.rows
+        )
         artifact = {
             "selector": selector,
             "config": vars(config),
@@ -200,6 +265,17 @@ def cmd_bench(args) -> int:
             "cached_fraction": round(result.cached_fraction(), 4),
             "rows": result.rows,
         }
+        if args.pipeline:
+            artifact["pipeline"] = args.pipeline
+            prefix_rows = [
+                row for row in result.rows
+                if row.get("prefix_cached") and not row.get("cached")
+            ]
+            if prefix_rows:
+                print(
+                    f"{len(prefix_rows)}/{len(result)} points resumed from "
+                    "a cached pipeline prefix (no recompile)"
+                )
         path = out_dir / f"{selector}.json"
         path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
         print(
@@ -215,6 +291,10 @@ def cmd_bench(args) -> int:
     if args.require_cached and not all_cached:
         print("error: --require-cached set but some points were cold",
               file=sys.stderr)
+        return 1
+    if args.require_prefix and not all_warm:
+        print("error: --require-prefix set but some points neither replayed "
+              "nor resumed from a cached pipeline prefix", file=sys.stderr)
         return 1
     return 0
 
@@ -246,6 +326,7 @@ def cmd_fuzz(args) -> int:
     base_cfg = OracleConfig(
         check_optimizers=not args.no_optimizers,
         n_inputs=args.inputs,
+        verify_passes=args.verify_passes,
     )
     if args.optimizer_t_cap is not None:
         from dataclasses import replace as _replace
@@ -255,6 +336,57 @@ def cmd_fuzz(args) -> int:
             optimizer_t_cap=args.optimizer_t_cap or None,
         )
     cfg = oracle_config_for(gen, base_cfg)
+    show_now = sys.stderr.isatty() and not args.quiet
+
+    if args.corpus:
+        import pathlib
+
+        from .fuzz.corpus import load_corpus, load_seed_manifest, replay_case
+
+        corpus_dir = pathlib.Path(args.corpus)
+        if not corpus_dir.is_dir():
+            print(f"error: corpus directory {corpus_dir} does not exist",
+                  file=sys.stderr)
+            return 2
+        failed = 0
+        total = 0
+        manifest = corpus_dir / "seeds.json"
+        if manifest.exists():
+            for seed, seed_gen in load_seed_manifest(manifest):
+                report = check_generated(seed, seed_gen, base_cfg)
+                total += 1
+                if show_now:
+                    mark = "ok" if report.ok else f"FAIL {report.oracle}"
+                    print(f"seed {seed}: {mark}", file=sys.stderr)
+                if not report.ok:
+                    failed += 1
+                    print(f"seed {seed}: {report.oracle}\n  {report.message}")
+        cases_dir = corpus_dir / "cases"
+        if cases_dir.exists():
+            for case in load_corpus(cases_dir):
+                total += 1
+                try:
+                    replay_case(case, base_cfg)
+                    if show_now:
+                        print(f"case {case.name}: ok", file=sys.stderr)
+                except OracleFailure as failure:
+                    failed += 1
+                    print(
+                        f"case {case.name}: {failure.oracle}\n"
+                        f"  {failure.message}"
+                    )
+        if total == 0:
+            # an empty corpus means the gate checked nothing — that is a
+            # harness failure, not a pass
+            print(f"error: corpus {corpus_dir} has no seeds.json entries "
+                  "and no cases/ reproducers", file=sys.stderr)
+            return 2
+        checks = " under --verify-passes" if args.verify_passes else ""
+        print(
+            f"corpus replay{checks}: {total - failed}/{total} entries passed"
+        )
+        return 1 if failed else 0
+
     start = time.perf_counter()
     deadline = start + args.time_budget if args.time_budget else None
     reports = []
@@ -422,8 +554,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="compile to an MCX circuit")
     _add_common(p_compile)
     p_compile.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
+    p_compile.add_argument("--pipeline", default=None, metavar="SPEC",
+                           help="explicit pass pipeline (overrides "
+                                "--optimize), e.g. "
+                                "'flatten,narrow,alloc,lower,peephole' "
+                                "or 'spire+zx-like'")
+    p_compile.add_argument("--verify-passes", action="store_true",
+                           help="check declared pass invariants between "
+                                "passes (re-typecheck after IR rewrites, "
+                                "T-count monotonicity after gate passes)")
+    p_compile.add_argument("--show-passes", action="store_true",
+                           help="print the per-pass timing breakdown")
     p_compile.add_argument("--emit", help="write the circuit in .qc format")
     p_compile.set_defaults(func=cmd_compile)
+
+    p_passes = sub.add_parser(
+        "passes", help="list registered pipeline passes and presets"
+    )
+    p_passes.add_argument("--list", action="store_true", default=True,
+                          help="list passes (the default and only action)")
+    p_passes.set_defaults(func=cmd_passes)
 
     p_analyze = sub.add_parser("analyze", help="cost model only (no circuit)")
     _add_common(p_analyze)
@@ -462,8 +612,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="depth range, e.g. 2..10 or 2,4,6 (default: 2..10)")
     p_bench.add_argument("--tree-depths", default=None,
                          help="depth range for the tree benchmarks (default: 2..8)")
+    p_bench.add_argument("--pipeline", default=None, metavar="SPEC",
+                         help="sweep a custom pass pipeline instead of a "
+                              "paper grid (e.g. 'spire+peephole' or "
+                              "'flatten,narrow,alloc,lower,zx-like'); "
+                              "writes pipeline.json")
+    p_bench.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                         default=None,
+                         help="benchmarks for --pipeline sweeps "
+                              "(default: length length-simplified)")
     p_bench.add_argument("--require-cached", action="store_true",
                          help="fail unless every point replays from the cache")
+    p_bench.add_argument("--require-prefix", action="store_true",
+                         help="fail unless every point replays from the "
+                              "cache or resumes from a cached pipeline "
+                              "prefix (no cold compiles)")
     p_bench.add_argument("--quiet", action="store_true",
                          help="suppress per-point progress output")
     p_bench.add_argument("--word-width", type=int, default=3)
@@ -511,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report failures unshrunk")
     p_fuzz.add_argument("--no-optimizers", action="store_true",
                         help="skip the circuit-optimizer oracles (faster)")
+    p_fuzz.add_argument("--verify-passes", action="store_true",
+                        help="run the pass manager's between-pass invariant "
+                             "checks on every compile")
+    p_fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                        help="replay a corpus directory (seeds.json manifest "
+                             "+ cases/) instead of generating new programs")
     p_fuzz.add_argument("--optimizer-t-cap", type=int, default=None,
                         metavar="T",
                         help="skip the optimizer baselines on programs whose "

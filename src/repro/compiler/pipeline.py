@@ -3,33 +3,37 @@
 ``compile_source`` runs the full pipeline::
 
     source --parse/lower/inline--> core IR
-           --[Spire optimization pass: none|spire|flatten|narrow]-->
-           --register allocation + abstract circuit-->
-           --gate lowering--> MCX-level Circuit
+           --[IR passes: Spire flattening/narrowing]-->
+           --register allocation + abstract circuit (alloc)-->
+           --gate lowering (lower)--> MCX-level Circuit
+           --[optional gate passes: circuit optimizers]--> Clifford+T
+
+Since the pass-manager refactor this module is a thin driver over
+:mod:`repro.passes`: the ``optimization`` argument accepts the historical
+presets (``none|spire|flatten|narrow``), preset+optimizer forms
+(``spire+peephole``), or any raw pipeline spec
+(``flatten,narrow,alloc,lower,peephole(window=32)``) — see
+:func:`repro.passes.resolve_pipeline`.  The presets reproduce the
+pre-refactor outputs bit-identically (``tests/data/seed_tcounts.json``).
 
 The result bundles the circuit with everything needed by the evaluation
 harness: the (optimized) core IR for the cost model, the register map for
-simulation, complexity counts, and stage timings.
+simulation, complexity counts, per-pass records, and stage timings.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..circuit.circuit import Circuit, Register
 from ..config import CompilerConfig
 from ..errors import LoweringError
 from ..ir.core import MemSwap, Stmt
-from ..ir.typecheck import check_program, infer_types
 from ..lang.ast import Program
 from ..lang.desugar import Lowered, lower_entry
 from ..lang.parser import parse_program
 from ..types import Type, TypeTable
-from ..opt.spire import OPTIMIZATIONS
-from .lower_gates import ScratchPool, expand_program
-from .lower_ir import AbstractProgram, lower_to_abstract
 
 
 @dataclass
@@ -45,7 +49,14 @@ class CompiledProgram:
     return_var: Optional[str]
     var_types: Dict[str, Type] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    #: the optimization string as requested (preset or raw spec)
     optimization: str = "none"
+    #: the canonical pipeline spec the circuit was produced by
+    pipeline: str = ""
+    #: per-pass execution records (:class:`repro.passes.PassRecord`)
+    pass_records: List[Any] = field(default_factory=list)
+    #: (canonical prefix spec, circuit) snapshots, when requested
+    snapshots: List[Tuple[str, Circuit]] = field(default_factory=list)
 
     # ----------------------------------------------------------- convenience
     def mcx_complexity(self) -> int:
@@ -90,66 +101,52 @@ def compile_core(
     optimization: str = "none",
     return_var: Optional[str] = None,
     typecheck: bool = True,
+    verify: bool = False,
+    keep_snapshots: bool = False,
+    decomposition_cache=None,
 ) -> CompiledProgram:
-    """Compile a core IR statement (inputs given by ``param_types``)."""
-    config = table.config
-    timings: Dict[str, float] = {}
+    """Compile a core IR statement (inputs given by ``param_types``).
 
-    start = time.perf_counter()
-    if typecheck:
-        # the user-written program is checked strictly (Figure 20)
-        check_program(stmt, table, param_types)
-    optimizer: Callable[[Stmt], Stmt] = OPTIMIZATIONS[optimization]
-    stmt = optimizer(stmt)
-    timings["optimize"] = time.perf_counter() - start
+    ``optimization`` may be a preset, a ``preset+gatepass`` form, or a raw
+    pipeline spec.  ``verify`` enables between-pass invariant checking
+    (``--verify-passes``); ``keep_snapshots`` retains the circuit at every
+    replayable pipeline prefix for the artifact cache.
+    """
+    # function-level import: repro.compiler must be importable before
+    # repro.passes has finished initializing (the pass framework's lowering
+    # passes import back into this package)
+    from ..passes.manager import PassManager
+    from ..passes.pipeline import resolve_pipeline
 
-    start = time.perf_counter()
-    if typecheck and optimization != "none":
-        # optimizer output satisfies a relaxed S-If domain condition only
-        check_program(stmt, table, param_types, relaxed=True)
-    var_types = infer_types(stmt, table, param_types)
-    timings["typecheck"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    if config.cell_bits is not None:
-        cell_bits = config.cell_bits
-        needed = infer_cell_bits(stmt, table, var_types)
-        if needed > cell_bits:
-            raise LoweringError(
-                f"configured cell_bits={cell_bits} too narrow; program "
-                f"stores values of {needed} bits"
-            )
-    else:
-        cell_bits = infer_cell_bits(stmt, table, var_types)
-    mem_qubits = config.heap_cells * cell_bits if cell_bits else 0
-    abstract = lower_to_abstract(
-        stmt,
-        table,
-        var_types,
-        param_order=list(param_types),
-        base_offset=mem_qubits,
+    pipeline = resolve_pipeline(optimization)
+    manager = PassManager(
+        pipeline,
+        verify=verify,
+        keep_snapshots=keep_snapshots,
+        decomposition_cache=decomposition_cache,
     )
-    timings["lower_ir"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    circuit, _scratch = expand_program(abstract, config, cell_bits)
-    timings["lower_gates"] = time.perf_counter() - start
+    run = manager.run(stmt, table, param_types, typecheck=typecheck)
 
     return CompiledProgram(
-        circuit=circuit,
-        core=stmt,
+        circuit=run.circuit,
+        core=run.stmt,
         table=table,
-        config=config,
-        cell_bits=cell_bits,
+        config=table.config,
+        cell_bits=run.cell_bits,
         param_types=dict(param_types),
         return_var=return_var,
-        var_types=var_types,
-        timings=timings,
+        var_types=run.var_types,
+        timings=run.timings,
         optimization=optimization,
+        pipeline=pipeline.spec(),
+        pass_records=run.records,
+        snapshots=run.snapshots,
     )
 
 
-def compile_lowered(lowered: Lowered, optimization: str = "none") -> CompiledProgram:
+def compile_lowered(
+    lowered: Lowered, optimization: str = "none", **kwargs
+) -> CompiledProgram:
     """Compile the output of :func:`repro.lang.desugar.lower_entry`."""
     return compile_core(
         lowered.stmt,
@@ -157,6 +154,7 @@ def compile_lowered(lowered: Lowered, optimization: str = "none") -> CompiledPro
         lowered.param_types,
         optimization=optimization,
         return_var=lowered.return_var,
+        **kwargs,
     )
 
 
@@ -166,10 +164,11 @@ def compile_program(
     size: Optional[int] = None,
     config: Optional[CompilerConfig] = None,
     optimization: str = "none",
+    **kwargs,
 ) -> CompiledProgram:
     """Compile one entry point of a parsed program."""
     lowered = lower_entry(program, entry, size, config)
-    return compile_lowered(lowered, optimization)
+    return compile_lowered(lowered, optimization, **kwargs)
 
 
 def compile_source(
@@ -178,6 +177,9 @@ def compile_source(
     size: Optional[int] = None,
     config: Optional[CompilerConfig] = None,
     optimization: str = "none",
+    **kwargs,
 ) -> CompiledProgram:
     """Parse and compile a Tower source program in one step."""
-    return compile_program(parse_program(source), entry, size, config, optimization)
+    return compile_program(
+        parse_program(source), entry, size, config, optimization, **kwargs
+    )

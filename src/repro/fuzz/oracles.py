@@ -50,11 +50,22 @@ stable signature used by :mod:`repro.fuzz.shrink` to preserve the failure
 while minimizing.  Unexpected exceptions in any stage are converted into
 ``crash[stage]`` failures — a compiler crash on a well-typed program is a
 finding, not a harness error.
+
+Optimization levels are pass pipelines (presets or raw specs, see
+:mod:`repro.passes`).  When an oracle failure is tagged with a level whose
+pipeline contains more than one IR pass, :func:`run_oracles` **bisects**
+the pipeline: it re-runs the same oracles on growing pipeline prefixes
+(``flatten`` then ``flatten,narrow`` …) and appends the first offending
+pass to the failure signature (``opt-vs-interp[spire]@pass:narrow``), so a
+finding attributes the broken rewrite, not just the level.  With
+:attr:`OracleConfig.verify_passes` the compiler additionally runs the pass
+manager's between-pass invariant checks on every compile.
 """
 
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -88,6 +99,7 @@ from ..ir.reverse import reverse
 from ..ir.typecheck import check_program
 from ..lang.ast import Program
 from ..lang.parser import parse_program
+from ..passes import PassError, resolve_pipeline
 from .generator import (
     DEFAULT_FUZZ_CONFIG,
     GenConfig,
@@ -144,6 +156,15 @@ class OracleConfig:
     #: basis input instead of all ``n_inputs`` (the per-level oracles
     #: already cover every input at the MCX level)
     optimizer_full_sim_t_cap: int = 25_000
+    #: run the pass manager's between-pass invariant checks on every
+    #: compile (the CLI's ``--verify-passes``): relaxed re-typecheck after
+    #: each IR pass, T-count monotonicity / Clifford+T output after gate
+    #: passes
+    verify_passes: bool = False
+    #: on a level-tagged oracle failure, re-run the pipeline
+    #: prefix-by-prefix and append the first offending pass to the
+    #: signature
+    bisect: bool = True
 
 
 def oracle_config_for(
@@ -623,7 +644,7 @@ def _check_superposition_point(
     return packed_by_level[ref], reference_full
 
 
-def run_oracles(
+def _run_oracles_impl(
     program: Program,
     entry: str = "main",
     size: Optional[int] = None,
@@ -631,14 +652,6 @@ def run_oracles(
     input_seed: int = 0,
     shapes: Sequence[HeapShapeInfo] = (),
 ) -> Dict[str, Any]:
-    """Run every oracle on one surface program; returns summary stats.
-
-    ``shapes`` describes well-formed heap structures to lay out in the
-    initial memory image (see :class:`_InputPlan`).  Programs containing
-    ``H`` statements are checked by the amplitude oracles instead of the
-    classical interpreter/simulator path.  Raises :class:`OracleFailure`
-    on the first violated invariant.
-    """
     stats: Dict[str, Any] = {}
 
     source = render_program(program)
@@ -670,6 +683,7 @@ def run_oracles(
             lowered.param_types,
             optimization=optimization,
             return_var=lowered.return_var,
+            verify=cfg.verify_passes,
         )
         inverses[optimization] = compiles[optimization].circuit.inverse()
     stats["qubits"] = compiles[ref].num_qubits()
@@ -773,6 +787,91 @@ def run_oracles(
             compiles[ref], basis_pairs, cfg, stats, superposed=superposed
         )
     return stats
+
+
+#: a level tag in an oracle signature, e.g. ``opt-vs-interp[spire]``
+_LEVEL_TAG = re.compile(r"\[([^\[\]]+)\]")
+
+
+def _bisect_offending_pass(
+    program: Program,
+    entry: str,
+    size: Optional[int],
+    cfg: OracleConfig,
+    input_seed: int,
+    shapes: Sequence[HeapShapeInfo],
+    failure: OracleFailure,
+) -> Optional[str]:
+    """The first pipeline pass whose prefix reproduces ``failure``.
+
+    Re-runs the full oracle set against the reference level for growing
+    IR-pass prefixes of the failing level's pipeline; the last pass of the
+    first failing prefix introduced the defect.  Returns ``None`` when the
+    failure is not attributable to a pipeline level (no tag, the reference
+    level itself, a single-stage pipeline that does not reproduce, …).
+    """
+    match = _LEVEL_TAG.search(failure.oracle)
+    if match is None:
+        return None
+    tag = match.group(1)
+    levels = cfg.optimizations
+    if tag not in levels or tag == levels[0]:
+        return None
+    try:
+        pipeline = resolve_pipeline(tag)
+    except PassError:
+        return None
+    if not pipeline.ir_passes:
+        return None
+    for prefix in pipeline.ir_prefixes():
+        sub_cfg = replace(
+            cfg,
+            optimizations=(levels[0], prefix.spec()),
+            check_optimizers=False,
+            verify_passes=False,
+            bisect=False,
+        )
+        try:
+            _run_oracles_impl(
+                program, entry, size, sub_cfg, input_seed, shapes
+            )
+        except OracleFailure:
+            return prefix.ir_passes[-1].name
+        except Exception:  # a prefix that cannot even run is inconclusive
+            return None
+    return None
+
+
+def run_oracles(
+    program: Program,
+    entry: str = "main",
+    size: Optional[int] = None,
+    cfg: OracleConfig = OracleConfig(),
+    input_seed: int = 0,
+    shapes: Sequence[HeapShapeInfo] = (),
+) -> Dict[str, Any]:
+    """Run every oracle on one surface program; returns summary stats.
+
+    ``shapes`` describes well-formed heap structures to lay out in the
+    initial memory image (see :class:`_InputPlan`).  Programs containing
+    ``H`` statements are checked by the amplitude oracles instead of the
+    classical interpreter/simulator path.  Raises :class:`OracleFailure`
+    on the first violated invariant; failures tagged with a multi-pass
+    optimization level are bisected to the first offending pass, appended
+    to the signature as ``@pass:<name>``.
+    """
+    try:
+        return _run_oracles_impl(program, entry, size, cfg, input_seed, shapes)
+    except OracleFailure as failure:
+        if cfg.bisect and "@pass:" not in failure.oracle:
+            offending = _bisect_offending_pass(
+                program, entry, size, cfg, input_seed, shapes, failure
+            )
+            if offending is not None:
+                raise OracleFailure(
+                    f"{failure.oracle}@pass:{offending}", failure.message
+                ) from failure
+        raise
 
 
 def check_generated(

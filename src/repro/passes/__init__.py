@@ -1,0 +1,74 @@
+"""Unified pass framework: one pipeline for IR rewrites and circuit optimizers.
+
+``Pipeline`` parses specs like ``"flatten,narrow,alloc,lower,peephole"``;
+``PassManager`` executes them with per-pass timing, artifact snapshots and
+optional between-pass invariant verification.  The historical
+``optimization`` levels (``none|spire|flatten|narrow``) are presets over
+the same registry, optionally suffixed with gate passes
+(``spire+peephole``); see :mod:`repro.passes.pipeline`.
+"""
+
+from .base import (
+    CLIFFORD_T_OUTPUT,
+    DETERMINISTIC,
+    GATES,
+    IR,
+    KNOWN_INVARIANTS,
+    LOWER,
+    Pass,
+    PassError,
+    PassVerificationError,
+    PRESERVES_TYPES,
+    SEMANTICS_PRESERVING,
+    STAGES,
+    TCOUNT_NONINCREASING,
+    get_pass_class,
+    make_pass,
+    pass_catalog,
+    pass_names,
+    register_pass,
+    unregister_pass,
+)
+from .builtin import ENGINES
+from .pipeline import (
+    PRESETS,
+    PassSpec,
+    Pipeline,
+    canonical_pipeline,
+    is_preset,
+    resolve_pipeline,
+)
+from .manager import PassContext, PassManager, PassRecord, PipelineRun
+
+__all__ = [
+    "CLIFFORD_T_OUTPUT",
+    "DETERMINISTIC",
+    "GATES",
+    "IR",
+    "KNOWN_INVARIANTS",
+    "LOWER",
+    "Pass",
+    "PassError",
+    "PassVerificationError",
+    "PRESERVES_TYPES",
+    "SEMANTICS_PRESERVING",
+    "STAGES",
+    "TCOUNT_NONINCREASING",
+    "get_pass_class",
+    "make_pass",
+    "pass_catalog",
+    "pass_names",
+    "register_pass",
+    "unregister_pass",
+    "ENGINES",
+    "PRESETS",
+    "PassSpec",
+    "Pipeline",
+    "canonical_pipeline",
+    "is_preset",
+    "resolve_pipeline",
+    "PassContext",
+    "PassManager",
+    "PassRecord",
+    "PipelineRun",
+]

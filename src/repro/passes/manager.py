@@ -1,0 +1,335 @@
+"""The :class:`PassManager`: run a pipeline with timing, snapshots, checks.
+
+One manager executes one :class:`~repro.passes.pipeline.Pipeline` over a
+core-IR statement, producing a :class:`PipelineRun` that bundles the final
+circuit with every intermediate the rest of the system needs (the
+post-rewrite core IR for the cost model, inferred types, per-pass timing
+records, and — when requested — circuit snapshots at every replayable
+prefix, which the benchmark cache stores for pass-granular warm replays).
+
+Between-pass verification (``verify=True``, the CLI's ``--verify-passes``)
+checks the machine-checkable declared invariants:
+
+* after every IR rewrite, the program must still typecheck under the
+  relaxed Figure-20 rules (:data:`~repro.passes.base.PRESERVES_TYPES`);
+* after every gate pass declaring
+  :data:`~repro.passes.base.TCOUNT_NONINCREASING`, the result's T-count
+  must not exceed that of the Clifford+T expansion of the pass's input;
+* gate passes declaring :data:`~repro.passes.base.CLIFFORD_T_OUTPUT`
+  must emit a pure Clifford+T circuit.
+
+Violations raise :class:`~repro.passes.base.PassVerificationError` naming
+the offending pass — the same attribution the fuzzing harness's pipeline
+bisection reports for semantic defects.
+
+Adjacent IR passes sharing an *engine* (see :mod:`repro.passes.builtin`)
+are fused into a single traversal; the fused group appears as one
+:class:`PassRecord` whose ``members`` lists the constituent passes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..circuit.circuit import Circuit
+from ..circuit.decompose import DecompositionCache
+from ..config import CompilerConfig
+from ..errors import ReproError
+from ..ir.core import Stmt
+from ..ir.typecheck import check_program
+from ..types import Type, TypeTable
+from .base import (
+    CLIFFORD_T_OUTPUT,
+    GATES,
+    IR,
+    PassVerificationError,
+    PRESERVES_TYPES,
+    TCOUNT_NONINCREASING,
+    get_pass_class,
+    make_pass,
+)
+from .builtin import ENGINES
+from .pipeline import Pipeline, PassSpec
+
+
+@dataclass
+class PassContext:
+    """Mutable state threaded through a pipeline run."""
+
+    table: TypeTable
+    param_types: Dict[str, Type]
+    config: CompilerConfig
+    stmt: Stmt
+    var_types: Dict[str, Type] = field(default_factory=dict)
+    cell_bits: int = 0
+    abstract: Any = None
+    circuit: Optional[Circuit] = None
+    decomposition_cache: Optional[DecompositionCache] = None
+
+
+@dataclass
+class PassRecord:
+    """Bookkeeping for one executed pass (or fused pass group)."""
+
+    name: str
+    stage: str
+    seconds: float
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: constituent pass names when this record is a fused group
+    members: Tuple[str, ...] = ()
+    #: invariants actually checked after this pass (verify mode)
+    verified: Tuple[str, ...] = ()
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "pass": self.name,
+            "stage": self.stage,
+            "seconds": round(self.seconds, 6),
+            "params": dict(self.params),
+            "members": list(self.members),
+            "verified": list(self.verified),
+        }
+
+
+@dataclass
+class PipelineRun:
+    """Everything a pipeline execution produced."""
+
+    pipeline: Pipeline
+    stmt: Stmt
+    var_types: Dict[str, Type]
+    cell_bits: int
+    abstract: Any
+    circuit: Circuit
+    records: List[PassRecord]
+    #: legacy stage timings (``optimize``/``typecheck``/``lower_ir``/
+    #: ``lower_gates`` plus ``opt:<name>`` per gate pass)
+    timings: Dict[str, float]
+    #: (canonical prefix spec, circuit) at every replayable cut point,
+    #: populated only when the manager keeps snapshots
+    snapshots: List[Tuple[str, Circuit]] = field(default_factory=list)
+
+
+def _group_passes(pipeline: Pipeline) -> List[List[Tuple[int, PassSpec]]]:
+    """Split the pass list into execution groups, fusing engine neighbours."""
+    groups: List[List[Tuple[int, PassSpec]]] = []
+    for index, spec in enumerate(pipeline.passes):
+        cls = get_pass_class(spec.name)
+        if (
+            groups
+            and cls.stage == IR
+            and cls.engine
+            and all(
+                get_pass_class(s.name).engine == cls.engine
+                for _, s in groups[-1]
+            )
+            and get_pass_class(groups[-1][-1][1].name).stage == IR
+        ):
+            groups[-1].append((index, spec))
+        else:
+            groups.append([(index, spec)])
+    return groups
+
+
+class PassManager:
+    """Execute a pipeline with timing, optional snapshots and verification."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        *,
+        verify: bool = False,
+        keep_snapshots: bool = False,
+        decomposition_cache: Optional[DecompositionCache] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.verify = verify
+        self.keep_snapshots = keep_snapshots
+        self.decomposition_cache = decomposition_cache or DecompositionCache()
+
+    # ----------------------------------------------------------------- runs
+    def run(
+        self,
+        stmt: Stmt,
+        table: TypeTable,
+        param_types: Dict[str, Type],
+        typecheck: bool = True,
+    ) -> PipelineRun:
+        """Compile ``stmt`` through the full pipeline."""
+        ctx = PassContext(
+            table=table,
+            param_types=dict(param_types),
+            config=table.config,
+            stmt=stmt,
+            decomposition_cache=self.decomposition_cache,
+        )
+        records: List[PassRecord] = []
+        snapshots: List[Tuple[str, Circuit]] = []
+        timings: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        if typecheck:
+            # the user-written program is checked strictly (Figure 20)
+            check_program(ctx.stmt, table, ctx.param_types)
+        strict_seconds = time.perf_counter() - start
+
+        groups = _group_passes(self.pipeline)
+        ir_seconds = 0.0
+        relaxed_seconds = 0.0
+        relaxed_done = False
+        for group in groups:
+            first_index, first = group[0]
+            stage = get_pass_class(first.name).stage
+            if stage != IR and not relaxed_done:
+                relaxed_done = True
+                start = time.perf_counter()
+                if typecheck and self.pipeline.ir_passes:
+                    # optimizer output satisfies a relaxed S-If domain
+                    # condition only
+                    check_program(
+                        ctx.stmt, table, ctx.param_types, relaxed=True
+                    )
+                relaxed_seconds = time.perf_counter() - start
+            record = self._run_group(ctx, group, typecheck=typecheck)
+            records.append(record)
+            if stage == IR:
+                ir_seconds += record.seconds
+            elif first.name == "alloc":
+                timings["lower_ir"] = record.seconds
+            elif first.name == "lower":
+                timings["lower_gates"] = record.seconds
+            else:
+                timings[f"opt:{record.name}"] = record.seconds
+            if self.keep_snapshots and ctx.circuit is not None and (
+                first.name == "lower" or stage == GATES
+            ):
+                last_index = group[-1][0]
+                prefix = Pipeline(self.pipeline.passes[: last_index + 1])
+                snapshots.append((prefix.spec(), ctx.circuit))
+
+        timings["optimize"] = strict_seconds + ir_seconds
+        timings["typecheck"] = relaxed_seconds
+        return PipelineRun(
+            pipeline=self.pipeline,
+            stmt=ctx.stmt,
+            var_types=ctx.var_types,
+            cell_bits=ctx.cell_bits,
+            abstract=ctx.abstract,
+            circuit=ctx.circuit,
+            records=records,
+            timings=timings,
+            snapshots=snapshots,
+        )
+
+    def run_gate_suffix(
+        self, circuit: Circuit, start: int
+    ) -> Tuple[Circuit, List[PassRecord], List[Tuple[str, Circuit]]]:
+        """Resume the pipeline's gate passes from a prefix snapshot.
+
+        ``start`` indexes into the pipeline's pass list: every pass from
+        there on must be a gate pass (the caller replays a circuit cached
+        at that cut point).  Returns the final circuit, the suffix's pass
+        records, and the (prefix spec, circuit) snapshots computed on the
+        way — ready to be stored for even-longer prefix replays.
+        """
+        specs = self.pipeline.passes[start:]
+        if any(s.stage != GATES for s in specs):
+            raise ValueError(
+                "run_gate_suffix can only resume at a gate-pass boundary"
+            )
+        ctx = PassContext(
+            table=None,  # type: ignore[arg-type]  # gate passes never touch it
+            param_types={},
+            config=None,  # type: ignore[arg-type]
+            stmt=None,  # type: ignore[arg-type]
+            circuit=circuit,
+            decomposition_cache=self.decomposition_cache,
+        )
+        records: List[PassRecord] = []
+        snapshots: List[Tuple[str, Circuit]] = []
+        for offset, spec in enumerate(specs):
+            record = self._run_group(
+                ctx, [(start + offset, spec)], typecheck=False
+            )
+            records.append(record)
+            prefix = Pipeline(self.pipeline.passes[: start + offset + 1])
+            snapshots.append((prefix.spec(), ctx.circuit))
+        return ctx.circuit, records, snapshots
+
+    # ------------------------------------------------------------ internals
+    def _run_group(
+        self,
+        ctx: PassContext,
+        group: List[Tuple[int, PassSpec]],
+        typecheck: bool,
+    ) -> PassRecord:
+        specs = [spec for _, spec in group]
+        first_cls = get_pass_class(specs[0].name)
+        stage = first_cls.stage
+        name = "+".join(s.name for s in specs)
+        params: Dict[str, Any] = {}
+        for spec in specs:
+            params.update(spec.kwargs())
+
+        reference_t: Optional[int] = None
+        if (
+            self.verify
+            and stage == GATES
+            and TCOUNT_NONINCREASING in first_cls.invariants
+        ):
+            reference_t = self.decomposition_cache.clifford_t(
+                ctx.circuit
+            ).t_count()
+
+        start = time.perf_counter()
+        if len(specs) > 1:
+            # engine fusion: one traversal with the union of the rules
+            rules = frozenset().union(
+                *(get_pass_class(s.name).rules for s in specs)
+            )
+            ctx.stmt = ENGINES[first_cls.engine](rules, ctx.stmt)
+        else:
+            make_pass(specs[0].name, **specs[0].kwargs()).apply(ctx)
+        seconds = time.perf_counter() - start
+
+        verified: List[str] = []
+        if self.verify:
+            if stage == IR and typecheck:
+                try:
+                    check_program(
+                        ctx.stmt, ctx.table, ctx.param_types, relaxed=True
+                    )
+                except ReproError as exc:
+                    raise PassVerificationError(
+                        name, PRESERVES_TYPES, str(exc)
+                    ) from exc
+                verified.append(PRESERVES_TYPES)
+            if stage == GATES:
+                if reference_t is not None:
+                    result_t = ctx.circuit.t_count()
+                    if result_t > reference_t:
+                        raise PassVerificationError(
+                            name,
+                            TCOUNT_NONINCREASING,
+                            f"T-count rose {reference_t} -> {result_t}",
+                        )
+                    verified.append(TCOUNT_NONINCREASING)
+                if CLIFFORD_T_OUTPUT in first_cls.invariants:
+                    if not ctx.circuit.is_clifford_t():
+                        raise PassVerificationError(
+                            name,
+                            CLIFFORD_T_OUTPUT,
+                            "result is not a Clifford+T circuit",
+                        )
+                    verified.append(CLIFFORD_T_OUTPUT)
+
+        return PassRecord(
+            name=name,
+            stage=stage,
+            seconds=seconds,
+            params=params,
+            members=tuple(s.name for s in specs) if len(specs) > 1 else (),
+            verified=tuple(verified),
+        )

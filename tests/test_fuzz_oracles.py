@@ -240,16 +240,20 @@ class TestAmplitudeOracles:
 
     def test_optimization_level_amplitude_drift_is_caught(self, monkeypatch):
         """An optimization pass that drops an H statement changes the
-        amplitude dictionary and must be flagged against the reference."""
+        amplitude dictionary and must be flagged against the reference.
+
+        The defect is injected into the pass framework's spire engine —
+        the traversal every ``flatten``/``narrow``/``spire`` pipeline
+        runs through since the pass-manager refactor."""
         from repro.ir.core import Hadamard, Skip
-        from repro.opt import spire as spire_mod
+        from repro.passes import ENGINES
 
-        real = spire_mod.OPTIMIZATIONS["spire"]
+        real = ENGINES["spire"]
 
-        def h_dropping(stmt):
+        def h_dropping(rules, stmt):
             from repro.ir.core import Seq, seq as mkseq
 
-            out = real(stmt)
+            out = real(rules, stmt)
 
             def strip(node):
                 if isinstance(node, Hadamard):
@@ -260,7 +264,7 @@ class TestAmplitudeOracles:
 
             return strip(out)
 
-        monkeypatch.setitem(spire_mod.OPTIMIZATIONS, "spire", h_dropping)
+        monkeypatch.setitem(ENGINES, "spire", h_dropping)
         with pytest.raises(OracleFailure) as info:
             run_oracles(
                 parse_program(SUPERPOSED_SRC), "main", None, FAST, input_seed=0
