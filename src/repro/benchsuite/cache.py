@@ -39,6 +39,23 @@ patching an optimizer, upgrading the package — therefore misses cleanly
 instead of serving a stale artifact.  Entries are immutable once written;
 writes go through a temp file + :func:`os.replace` so concurrent grid
 workers sharing one cache directory never observe a partial artifact.
+
+**Integrity.**  Both artifacts carry a content checksum: ``point.json``
+is a ``{"format", "sha256", "row"}`` envelope whose digest covers the
+canonical row JSON, and ``circuit.rqcs`` prefixes the snapshot bytes
+with an ``RQCE1`` header + SHA-256.  A read distinguishes three non-hit
+outcomes, counted separately in :meth:`ArtifactCache.stats`:
+
+* *miss* — the entry does not exist (normal cold point);
+* *corrupt* — the entry exists but fails its checksum or cannot be
+  parsed (torn write, bit rot, truncation); the offending file is moved
+  to ``<root>/quarantine/`` for post-mortem and is never re-served;
+* *I/O error* — the entry exists but cannot be read (``EACCES``, a
+  transient filesystem fault); the point recomputes, but the error is
+  never conflated with a plain miss.
+
+:meth:`ArtifactCache.prune` adds size-bounded eviction (oldest entries
+first, by mtime) behind ``repro cache prune --max-bytes``.
 """
 
 from __future__ import annotations
@@ -50,16 +67,33 @@ import tempfile
 from dataclasses import asdict
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .._version import __version__
 from ..circuit.circuit import Circuit
 from ..circuit import snapshot
 from ..config import CompilerConfig
+from ..faults import inject
 from ..passes.pipeline import canonical_pipeline
 
 POINT_FILE = "point.json"
 CIRCUIT_FILE = "circuit.rqcs"
+QUARANTINE_DIR = "quarantine"
+
+#: version of the point.json checksum envelope
+POINT_FORMAT = 2
+
+#: magic prefix of the checksummed circuit-snapshot envelope
+CIRCUIT_MAGIC = b"RQCE1\x00"
+
+#: OSError subclasses that mean "no such entry" rather than a real failure
+_MISS_ERRORS = (FileNotFoundError, NotADirectoryError)
+
+
+def row_checksum(row: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a measurement row."""
+    blob = json.dumps(row, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def source_sha(source: str) -> str:
@@ -149,6 +183,12 @@ class ArtifactCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        #: entries that failed their checksum and were quarantined
+        self.corrupt = 0
+        #: entries that exist but could not be read (never counted as miss)
+        self.io_errors = 0
+        #: files successfully moved to ``<root>/quarantine/``
+        self.quarantined = 0
 
     # ------------------------------------------------------------------ keys
     def key(self, **kwargs: Any) -> str:
@@ -161,42 +201,121 @@ class ArtifactCache:
 
     # ---------------------------------------------------------------- points
     def load_point(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored measurement row, or ``None`` on a miss."""
+        """The stored measurement row, or ``None``.
+
+        The three non-hit outcomes — miss, corrupt (quarantined), and
+        unreadable (I/O error) — are counted separately; only genuine
+        misses increment ``misses``.
+        """
         path = self._entry_dir(key) / POINT_FILE
         try:
-            row = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            inject.fire("cache.load_point", key=key)
+            data = path.read_bytes()
+        except _MISS_ERRORS:
             self.misses += 1
+            return None
+        except OSError:
+            self.io_errors += 1
+            return None
+        row = self._verify_point(data)
+        if row is None:
+            self.corrupt += 1
+            self._quarantine(path, key)
             return None
         self.hits += 1
         return row
 
+    @staticmethod
+    def _verify_point(data: bytes) -> Optional[Dict[str, Any]]:
+        """The row inside a point envelope, or ``None`` when corrupt."""
+        try:
+            envelope = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(envelope, dict) or envelope.get("format") != POINT_FORMAT:
+            return None
+        row = envelope.get("row")
+        if not isinstance(row, dict):
+            return None
+        if envelope.get("sha256") != row_checksum(row):
+            return None
+        return row
+
     def store_point(self, key: str, row: Dict[str, Any]) -> None:
-        """Persist a measurement row (atomic; last writer wins)."""
-        self._atomic_write(
-            self._entry_dir(key) / POINT_FILE,
-            (json.dumps(row, sort_keys=True) + "\n").encode("utf-8"),
-        )
+        """Persist a measurement row in a checksum envelope (atomic)."""
+        envelope = {"format": POINT_FORMAT, "sha256": row_checksum(row), "row": row}
+        data = (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+        data = inject.mangle("cache.store_point", key, data)
+        self._atomic_write(self._entry_dir(key) / POINT_FILE, data)
 
     # -------------------------------------------------------------- circuits
     def load_circuit(self, key: str) -> Optional[Circuit]:
-        """The stored compiled circuit, or ``None`` on a miss."""
+        """The stored compiled circuit, or ``None``.
+
+        Same read classification as :meth:`load_point`: a blob failing
+        its envelope checksum (or the snapshot decoder) is quarantined
+        and counted corrupt, an unreadable file counts as an I/O error,
+        and neither is ever conflated with a plain miss.
+        """
         path = self._entry_dir(key) / CIRCUIT_FILE
         try:
+            inject.fire("cache.load_circuit", key=key)
             data = path.read_bytes()
+        except _MISS_ERRORS:
+            return None
         except OSError:
+            self.io_errors += 1
+            return None
+        circuit = self._verify_circuit(data)
+        if circuit is None:
+            self.corrupt += 1
+            self._quarantine(path, key)
+            return None
+        return circuit
+
+    @staticmethod
+    def _verify_circuit(data: bytes) -> Optional[Circuit]:
+        """The circuit inside a checksummed envelope, or ``None``."""
+        if not data.startswith(CIRCUIT_MAGIC):
+            return None
+        digest = data[len(CIRCUIT_MAGIC): len(CIRCUIT_MAGIC) + 32]
+        payload = data[len(CIRCUIT_MAGIC) + 32:]
+        if hashlib.sha256(payload).digest() != digest:
             return None
         try:
-            return snapshot.load_bytes(data)
+            return snapshot.load_bytes(payload)
         except snapshot.SnapshotError:
-            # a torn or stale blob is a miss, not an error
             return None
 
     def store_circuit(self, key: str, circuit: Circuit) -> None:
-        """Persist a compiled circuit snapshot (atomic)."""
-        self._atomic_write(
-            self._entry_dir(key) / CIRCUIT_FILE, snapshot.dump_bytes(circuit)
-        )
+        """Persist a compiled circuit snapshot in a checksum envelope."""
+        payload = snapshot.dump_bytes(circuit)
+        data = CIRCUIT_MAGIC + hashlib.sha256(payload).digest() + payload
+        data = inject.mangle("cache.store_circuit", key, data)
+        self._atomic_write(self._entry_dir(key) / CIRCUIT_FILE, data)
+
+    # ------------------------------------------------------------ quarantine
+    def _quarantine(self, path: Path, key: str) -> None:
+        """Move a corrupt artifact aside; it must never be re-served."""
+        dest_dir = self.root / QUARANTINE_DIR
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / f"{key}.{path.name}")
+            self.quarantined += 1
+        except OSError:
+            # quarantine is best-effort; removing the entry is what
+            # guarantees it is never served again
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def quarantine_entries(self) -> List[Path]:
+        """The quarantined artifact files (post-mortem material)."""
+        dest = self.root / QUARANTINE_DIR
+        if not dest.is_dir():
+            return []
+        return sorted(p for p in dest.iterdir() if p.is_file())
 
     # ------------------------------------------------------------- internals
     def _atomic_write(self, path: Path, data: bytes) -> None:
@@ -214,35 +333,155 @@ class ArtifactCache:
             raise
 
     # -------------------------------------------------------------- plumbing
+    def _entries(self) -> List[Path]:
+        """Every entry directory (excluding the quarantine area)."""
+        if not self.root.exists():
+            return []
+        return [
+            entry
+            for entry in self.root.glob("*/*")
+            if entry.is_dir() and entry.parent.name != QUARANTINE_DIR
+        ]
+
     def __len__(self) -> int:
         """Number of stored grid points."""
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.glob(f"*/*/{POINT_FILE}"))
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number of points removed."""
-        removed = 0
-        if not self.root.exists():
-            return removed
-        for entry in self.root.glob("*/*"):
-            if not entry.is_dir():
-                continue
-            for name in (POINT_FILE, CIRCUIT_FILE):
-                try:
-                    (entry / name).unlink()
-                    removed += name == POINT_FILE
-                except OSError:
-                    pass
+    @staticmethod
+    def _remove_entry(entry: Path) -> int:
+        """Delete one entry directory; returns the bytes freed."""
+        freed = 0
+        for item in list(entry.iterdir()):
             try:
-                entry.rmdir()
+                freed += item.stat().st_size
+                item.unlink()
             except OSError:
                 pass
+        try:
+            entry.rmdir()
+        except OSError:
+            pass
+        return freed
+
+    def _prune_fanout_dirs(self) -> None:
+        """Drop two-char fanout directories left empty by entry removal."""
+        if not self.root.exists():
+            return
+        for fanout in self.root.iterdir():
+            if not fanout.is_dir() or fanout.name == QUARANTINE_DIR:
+                continue
+            try:
+                fanout.rmdir()  # fails (correctly) unless empty
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every entry (and the quarantine); returns entries removed.
+
+        Unlike a plain point count, an entry holding only a circuit
+        snapshot (or a partially written artifact) still counts — the
+        return value is the number of entry directories deleted, and the
+        two-char fanout directories are pruned rather than left empty.
+        """
+        removed = 0
+        for entry in self._entries():
+            self._remove_entry(entry)
+            removed += 1
+        for item in self.quarantine_entries():
+            try:
+                item.unlink()
+            except OSError:
+                pass
+        try:
+            (self.root / QUARANTINE_DIR).rmdir()
+        except OSError:
+            pass
+        self._prune_fanout_dirs()
         return removed
 
+    # -------------------------------------------------------------- eviction
+    def usage(self) -> Dict[str, int]:
+        """On-disk footprint: entry/byte counts plus the quarantine's."""
+        entries = 0
+        size = 0
+        for entry in self._entries():
+            entries += 1
+            for item in entry.iterdir():
+                try:
+                    size += item.stat().st_size
+                except OSError:
+                    pass
+        quarantine = self.quarantine_entries()
+        q_bytes = 0
+        for item in quarantine:
+            try:
+                q_bytes += item.stat().st_size
+            except OSError:
+                pass
+        return {
+            "entries": entries,
+            "bytes": size,
+            "quarantine_entries": len(quarantine),
+            "quarantine_bytes": q_bytes,
+        }
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict oldest entries (by mtime) until the cache fits ``max_bytes``.
+
+        Whole entries are evicted (a point and its circuit snapshot live
+        or die together).  Returns removed/remaining entry and byte
+        counts; fanout directories emptied by eviction are pruned.
+        """
+        sized: List[Tuple[float, int, Path]] = []
+        for entry in self._entries():
+            size = 0
+            mtime = 0.0
+            for item in entry.iterdir():
+                try:
+                    stat = item.stat()
+                except OSError:
+                    continue
+                size += stat.st_size
+                mtime = max(mtime, stat.st_mtime)
+            sized.append((mtime, size, entry))
+        total = sum(size for _, size, _ in sized)
+        removed_entries = 0
+        removed_bytes = 0
+        for _, size, entry in sorted(sized, key=lambda item: item[0]):
+            if total - removed_bytes <= max_bytes:
+                break
+            removed_bytes += self._remove_entry(entry)
+            removed_entries += 1
+        self._prune_fanout_dirs()
+        return {
+            "removed_entries": removed_entries,
+            "removed_bytes": removed_bytes,
+            "remaining_entries": len(sized) - removed_entries,
+            "remaining_bytes": total - removed_bytes,
+        }
+
     def stats(self) -> Dict[str, int]:
-        """Session hit/miss counters plus the stored entry count."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        """Session counters plus the stored entry count.
+
+        ``corrupt`` (checksum failures, quarantined), ``io_errors``
+        (unreadable entries) and ``quarantined`` are classified apart
+        from plain ``misses`` — a sweep that recompiled because of disk
+        trouble is visible as such, never silently folded into cold
+        points.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "io_errors": self.io_errors,
+            "quarantined": self.quarantined,
+            "entries": len(self),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<ArtifactCache {self.root} ({self.hits} hits, {self.misses} misses)>"
+        return (
+            f"<ArtifactCache {self.root} ({self.hits} hits, "
+            f"{self.misses} misses, {self.corrupt} corrupt)>"
+        )

@@ -18,6 +18,20 @@ grid: workers run the same deterministic compile/optimize pipeline, and
 the cache replays stored rows verbatim (only ``cached``/``wall_seconds``
 differ, by construction).  ``tests/test_grid_harness.py`` asserts this
 against the recorded seed T-counts.
+
+**Fault tolerance.**  Backends constructed with a
+:class:`~repro.benchsuite.resilience.RetryPolicy` isolate failures
+instead of aborting the sweep: a task that raises is retried with
+exponential backoff and deterministic jitter, a task that exceeds the
+per-task timeout gets its worker pool torn down and is rescheduled, a
+``BrokenProcessPool`` (worker crash, OOM-kill) respawns the pool and
+requeues everything in flight, and after ``max_pool_deaths`` the sweep
+degrades to serial in-parent execution for the remaining tasks.  A task
+that exhausts its retry budget becomes a structured *failure row*
+(:func:`~repro.benchsuite.resilience.failure_row`) in the result; lost
+tasks — a slot still empty after a non-aborted sweep — raise instead of
+silently shrinking the row list.  The bit-identity contract holds under
+any of this: retries and rescheduling never change what a task computes.
 """
 
 from __future__ import annotations
@@ -26,15 +40,22 @@ import os
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import CompilerConfig
+from ..faults import inject
 from .cache import ArtifactCache
 from .programs import TREE_BENCHMARKS, UNSIZED, is_unsized
+from .resilience import RetryPolicy, failure_row
 
 #: progress callback: (done, total, row) -> None
 ProgressFn = Callable[[int, int, Dict[str, Any]], None]
+
+#: per-completed-row callback: (task index, row) -> None; fired as each
+#: row lands (in completion order), the checkpoint-journal hook
+RowFn = Callable[[int, Dict[str, Any]], None]
 
 MEASURE = "measure"
 OPTIMIZE = "optimize"
@@ -119,18 +140,32 @@ def optimizer_tasks(
 
 
 class GridResult:
-    """Measurement rows of a grid sweep, indexed for table/figure assembly."""
+    """Measurement rows of a grid sweep, indexed for table/figure assembly.
+
+    ``rows`` holds every row the sweep produced, including structured
+    *failure rows* (``failed: True``) for tasks that exhausted their
+    retries; :meth:`ok` and :attr:`failed_rows` split the two, and the
+    point indexers only ever serve successful measurements.
+    """
 
     def __init__(self, rows: List[Dict[str, Any]]) -> None:
         self.rows = rows
+        #: tasks that exhausted their retries (see ``failure_row``)
+        self.failed_rows = [row for row in rows if row.get("failed")]
         self._measures: Dict[Tuple, Dict[str, Any]] = {}
         self._optimized: Dict[Tuple, Dict[str, Any]] = {}
         for row in rows:
+            if row.get("failed"):
+                continue
             if row.get("optimizer"):
                 key = (row["name"], row["depth"], row["optimizer"], row["optimization"])
                 self._optimized[key] = row
             else:
                 self._measures[(row["name"], row["depth"], row["optimization"])] = row
+
+    def ok(self) -> List[Dict[str, Any]]:
+        """The successful measurement rows (everything but failure rows)."""
+        return [row for row in self.rows if not row.get("failed")]
 
     def measure(
         self, name: str, depth: Optional[int], optimization: str = "none"
@@ -177,14 +212,58 @@ class GridResult:
         return iter(self.rows)
 
 
-def execute_task(runner, task: GridTask) -> Dict[str, Any]:
-    """Run one grid task on a runner; returns the JSON-ready row."""
+def execute_task(runner, task: GridTask, attempt: int = 0) -> Dict[str, Any]:
+    """Run one grid task on a runner; returns the JSON-ready row.
+
+    ``attempt`` is the retry counter of the resilience layer; it feeds
+    the deterministic fault-injection hook (a chaos fault fired on
+    attempt 0 draws a fresh decision on attempt 1) and never affects
+    what the task computes.
+    """
+    inject.fire("worker.execute", key=task.label(), attempt=attempt)
     params = dict(task.params)
     if task.kind == MEASURE:
         return runner.measure(task.name, task.depth, task.optimization).row()
     return runner.optimize_point(
         task.name, task.depth, task.optimizer, task.optimization, **params
     ).row()
+
+
+def run_task_resilient(
+    runner,
+    task: GridTask,
+    policy: RetryPolicy,
+    prior_attempts: int = 0,
+    prior_failures: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """Execute one task under a retry policy; never raises for task errors.
+
+    Returns the measurement row (annotated with ``attempts`` when it
+    took more than one), or a structured failure row once the retry
+    budget is exhausted.  ``prior_attempts``/``prior_failures`` carry
+    the task's history when execution migrates (e.g. a degraded-serial
+    continuation after pool deaths), so fault-injection attempt numbers
+    and the retry budget stay monotone.
+    """
+    attempts = prior_attempts
+    failures = prior_failures
+    while True:
+        attempts += 1
+        try:
+            row = execute_task(runner, task, attempt=attempts - 1)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            failures += 1
+            if failures > policy.retries:
+                return failure_row(task, exc, stage="execute", attempts=attempts)
+            sleep(policy.backoff_delay(task.label(), failures))
+        else:
+            if attempts > 1:
+                row = dict(row)
+                row["attempts"] = attempts
+            return row
 
 
 # ------------------------------------------------------------------ backends
@@ -194,23 +273,48 @@ class ExecutionBackend:
     name = "abstract"
 
     def run(
-        self, runner, tasks: List[GridTask], progress: Optional[ProgressFn] = None
+        self,
+        runner,
+        tasks: List[GridTask],
+        progress: Optional[ProgressFn] = None,
+        on_row: Optional[RowFn] = None,
     ) -> List[Dict[str, Any]]:  # pragma: no cover - interface
         raise NotImplementedError
 
 
 class SerialBackend(ExecutionBackend):
-    """In-process loop; the reference semantics every backend must match."""
+    """In-process loop; the reference semantics every backend must match.
+
+    Without a policy (the default), task exceptions propagate — the
+    historical contract every library caller relies on.  With a
+    :class:`RetryPolicy`, tasks are retried and exhausted tasks become
+    failure rows, and the sweep stops early once ``max_failures`` is
+    exceeded.
+    """
 
     name = "serial"
 
-    def run(self, runner, tasks, progress=None):
+    def __init__(self, policy: Optional[RetryPolicy] = None) -> None:
+        self.policy = policy
+
+    def run(self, runner, tasks, progress=None, on_row=None):
         rows: List[Dict[str, Any]] = []
+        failures = 0
         for i, task in enumerate(tasks):
-            row = execute_task(runner, task)
+            if self.policy is None:
+                row = execute_task(runner, task)
+            else:
+                row = run_task_resilient(runner, task, self.policy)
             rows.append(row)
+            if on_row is not None:
+                on_row(i, row)
             if progress is not None:
                 progress(i + 1, len(tasks), row)
+            if row.get("failed"):
+                failures += 1
+                limit = self.policy.max_failures if self.policy else None
+                if limit is not None and failures > limit:
+                    break  # abort threshold crossed: stop scheduling work
         return rows
 
 
@@ -231,13 +335,75 @@ class CachedBackend(ExecutionBackend):
         self.cache = cache if isinstance(cache, ArtifactCache) else ArtifactCache(cache)
         self.inner = inner or SerialBackend()
 
-    def run(self, runner, tasks, progress=None):
+    def run(self, runner, tasks, progress=None, on_row=None):
         previous = runner.cache
         runner.cache = self.cache
         try:
-            return self.inner.run(runner, tasks, progress=progress)
+            return self.inner.run(runner, tasks, progress=progress, on_row=on_row)
         finally:
             runner.cache = previous
+
+
+@dataclass
+class _Attempt:
+    """Per-task retry state while a wave is in flight."""
+
+    index: int
+    task: GridTask
+    #: total submissions (the fault-injection attempt number)
+    starts: int = 0
+    #: failures attributable to the task (counts against the retry budget);
+    #: pool deaths reschedule without charging it
+    failures: int = 0
+    #: earliest next submission (monotonic clock), set by backoff
+    ready_at: float = 0.0
+
+
+class _SweepState:
+    """Shared bookkeeping of one sweep: rows, counters, abort threshold."""
+
+    def __init__(
+        self,
+        tasks: List[GridTask],
+        policy: RetryPolicy,
+        progress: Optional[ProgressFn],
+        on_row: Optional[RowFn],
+    ) -> None:
+        self.tasks = tasks
+        self.policy = policy
+        self.progress = progress
+        self.on_row = on_row
+        self.rows: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        self.done = 0
+        self.failures = 0
+        self.aborted = False
+
+    def complete(self, index: int, row: Dict[str, Any]) -> None:
+        self.rows[index] = row
+        self.done += 1
+        if row.get("failed"):
+            self.failures += 1
+            limit = self.policy.max_failures
+            if limit is not None and self.failures > limit:
+                self.aborted = True
+        if self.on_row is not None:
+            self.on_row(index, row)
+        if self.progress is not None:
+            self.progress(self.done, len(self.tasks), row)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: kill workers (hung ones included), drop work."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
 
 
 class ParallelBackend(ExecutionBackend):
@@ -251,7 +417,13 @@ class ParallelBackend(ExecutionBackend):
     their compiled-circuit snapshots) before optimizer baselines (which
     load them) — so a grid point's compile happens in exactly one worker.
 
-    Rows come back in task order regardless of completion order.
+    Rows come back in task order regardless of completion order.  A
+    failing task is retried per the policy; a crashed or hung worker
+    takes its pool down and the sweep respawns and reschedules; after
+    ``policy.max_pool_deaths`` pool deaths the remaining tasks execute
+    serially in the parent.  Every scheduled task ends as either a
+    measurement row or a failure row — a sweep that somehow lost a task
+    raises rather than returning a shorter result.
     """
 
     name = "parallel"
@@ -260,19 +432,21 @@ class ParallelBackend(ExecutionBackend):
         self,
         jobs: Optional[int] = None,
         cache: Union[ArtifactCache, str, os.PathLike, None] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
+        self.policy = policy or RetryPolicy()
 
-    def run(self, runner, tasks, progress=None):
+    def run(self, runner, tasks, progress=None, on_row=None):
         cache = self.cache if self.cache is not None else runner.cache
         if self.jobs == 1:
-            return CachedBackend(cache).run(runner, tasks, progress) \
-                if cache is not None else SerialBackend().run(runner, tasks, progress)
-        rows: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
-        done = 0
+            inner = SerialBackend(policy=self.policy)
+            backend = CachedBackend(cache, inner) if cache is not None else inner
+            return backend.run(runner, tasks, progress=progress, on_row=on_row)
+        state = _SweepState(list(tasks), self.policy, progress, on_row)
         # parent-side replay: dispatch only cold tasks to the pool
         pending: List[Tuple[int, GridTask]] = []
         if cache is not None:
@@ -295,20 +469,19 @@ class ParallelBackend(ExecutionBackend):
                         row = dict(row)
                         row["cached"] = True
                         # contract: wall_seconds is THIS call's wall clock,
-                        # and the optimization label is as the task spelled
-                        # it (rows are cached under the canonical pipeline
-                        # spec, which may be a different spelling)
+                        # and the identity labels are as the task spelled
+                        # them (rows are cached under the canonical pipeline
+                        # spec and the source-text hash, so the stored
+                        # spelling may be another task's)
+                        row["name"] = task.name
                         row["optimization"] = task.optimization
                         row["wall_seconds"] = time.perf_counter() - lookup_start
-                        rows[i] = row
-                        done += 1
-                        if progress is not None:
-                            progress(done, len(tasks), row)
+                        state.complete(i, row)
             finally:
                 runner.cache = previous
         else:
             pending = list(enumerate(tasks))
-        if pending:
+        if pending and not state.aborted:
             # With a shared cache, dispatch in two waves: measure tasks
             # first (each stores its compiled-circuit snapshot), optimizer
             # baselines second (each loads the snapshot instead of
@@ -325,27 +498,213 @@ class ParallelBackend(ExecutionBackend):
                 waves = [pending]
             config_kwargs = asdict(runner.config)
             cache_root = str(cache.root) if cache is not None else None
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)),
+            for wave in waves:
+                if state.aborted:
+                    break
+                self._run_wave(
+                    runner, wave, state, config_kwargs, cache_root, cache
+                )
+        if not state.aborted:
+            lost = [
+                state.tasks[i].label()
+                for i, row in enumerate(state.rows)
+                if row is None
+            ]
+            if lost:
+                raise RuntimeError(
+                    f"grid sweep lost {len(lost)} task(s) without a row "
+                    f"(first: {lost[:3]}); this is a harness bug, not a "
+                    "task failure"
+                )
+        return [row for row in state.rows if row is not None]
+
+    # ------------------------------------------------------------ wave loop
+    def _run_wave(
+        self,
+        runner,
+        wave: List[Tuple[int, GridTask]],
+        state: _SweepState,
+        config_kwargs: Dict[str, Any],
+        cache_root: Optional[str],
+        cache: Optional[ArtifactCache],
+    ) -> None:
+        policy = self.policy
+        queue: List[_Attempt] = [_Attempt(i, task) for i, task in wave]
+        in_flight: Dict[Any, Tuple[_Attempt, Optional[float]]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        pool_deaths = 0
+        degraded = False
+
+        def respawn() -> None:
+            nonlocal pool
+            if pool is not None:
+                _terminate_pool(pool)
+            pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
                 initializer=_init_worker,
                 initargs=(config_kwargs, cache_root, list(sys.path)),
-            ) as pool:
-                for wave in waves:
-                    futures = {
-                        pool.submit(_run_worker_task, task): i for i, task in wave
-                    }
-                    outstanding = set(futures)
-                    while outstanding:
-                        finished, outstanding = wait(
-                            outstanding, return_when=FIRST_COMPLETED
+            )
+
+        def recover_pool(extra: Optional[List[_Attempt]] = None) -> bool:
+            """Requeue in-flight work and respawn; False once the death
+            budget is spent (caller degrades to serial)."""
+            nonlocal pool_deaths
+            pool_deaths += 1
+            for attempt, _ in in_flight.values():
+                queue.append(attempt)
+            in_flight.clear()
+            if extra:
+                queue.extend(extra)
+            if pool_deaths > policy.max_pool_deaths:
+                return False
+            respawn()
+            return True
+
+        respawn()
+        try:
+            while (queue or in_flight) and not state.aborted and not degraded:
+                now = time.monotonic()
+                # fill free slots with backoff-ready tasks
+                while queue and len(in_flight) < self.jobs:
+                    ready = [a for a in queue if a.ready_at <= now]
+                    if not ready:
+                        break
+                    attempt = ready[0]
+                    queue.remove(attempt)
+                    attempt.starts += 1
+                    try:
+                        future = pool.submit(
+                            _run_worker_task, attempt.task, attempt.starts - 1
                         )
-                        for future in finished:
-                            i = futures[future]
-                            rows[i] = future.result()
-                            done += 1
-                            if progress is not None:
-                                progress(done, len(tasks), rows[i])
-        return [row for row in rows if row is not None]
+                    except BrokenProcessPool:
+                        attempt.starts -= 1
+                        queue.append(attempt)
+                        if not recover_pool():
+                            degraded = True
+                        break
+                    deadline = (
+                        now + policy.task_timeout if policy.task_timeout else None
+                    )
+                    in_flight[future] = (attempt, deadline)
+                if degraded or state.aborted:
+                    break
+                if not in_flight:
+                    if queue:  # everything is backing off: sleep to soonest
+                        pause = min(a.ready_at for a in queue) - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
+                timeout = None
+                wakeups = [d for _, d in in_flight.values() if d is not None]
+                if queue and len(in_flight) < self.jobs:
+                    wakeups.append(min(a.ready_at for a in queue))
+                if wakeups:
+                    timeout = max(0.0, min(wakeups) - time.monotonic())
+                finished, _ = wait(
+                    set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not finished:
+                    # nothing completed before the timeout: reap tasks past
+                    # their deadline.  A hung worker cannot be cancelled
+                    # individually, so the pool is torn down and respawned;
+                    # the timed-out task is charged a failure, innocent
+                    # bystanders are rescheduled for free.
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_, deadline) in in_flight.items()
+                        if deadline is not None and now >= deadline
+                    ]
+                    if not expired:
+                        continue  # woke up to submit backoff-ready work
+                    retry: List[_Attempt] = []
+                    for future in expired:
+                        attempt, _ = in_flight.pop(future)
+                        attempt.failures += 1
+                        if attempt.failures > policy.retries:
+                            error = TimeoutError(
+                                f"task exceeded --task-timeout="
+                                f"{policy.task_timeout}s"
+                            )
+                            state.complete(
+                                attempt.index,
+                                failure_row(
+                                    attempt.task, error, "execute", attempt.starts
+                                ),
+                            )
+                        else:
+                            attempt.ready_at = now + policy.backoff_delay(
+                                attempt.task.label(), attempt.failures
+                            )
+                            retry.append(attempt)
+                    if not recover_pool(retry):
+                        degraded = True
+                    continue
+                broken = False
+                for future in finished:
+                    attempt, _ = in_flight.pop(future)
+                    try:
+                        row = future.result()
+                    except BrokenProcessPool:
+                        # worker died (crash, OOM-kill): reschedule; the
+                        # attempt number advanced, so an injected crash
+                        # draws a fresh decision next time
+                        queue.append(attempt)
+                        broken = True
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        attempt.failures += 1
+                        if attempt.failures > policy.retries:
+                            state.complete(
+                                attempt.index,
+                                failure_row(
+                                    attempt.task, exc, "execute", attempt.starts
+                                ),
+                            )
+                        else:
+                            attempt.ready_at = (
+                                time.monotonic()
+                                + policy.backoff_delay(
+                                    attempt.task.label(), attempt.failures
+                                )
+                            )
+                            queue.append(attempt)
+                    else:
+                        if attempt.starts > 1 or attempt.failures:
+                            row = dict(row)
+                            row["attempts"] = attempt.starts
+                        state.complete(attempt.index, row)
+                if broken and not state.aborted:
+                    if not recover_pool():
+                        degraded = True
+        finally:
+            if pool is not None:
+                _terminate_pool(pool)
+        if degraded and not state.aborted:
+            # repeated pool deaths: finish the wave serially in the parent,
+            # under the same policy and with the task's attempt history
+            leftovers = sorted(
+                queue + [attempt for attempt, _ in in_flight.values()],
+                key=lambda a: a.index,
+            )
+            previous = runner.cache
+            if cache is not None:
+                runner.cache = cache
+            try:
+                for attempt in leftovers:
+                    if state.aborted:
+                        break
+                    row = run_task_resilient(
+                        runner,
+                        attempt.task,
+                        policy,
+                        prior_attempts=attempt.starts,
+                        prior_failures=attempt.failures,
+                    )
+                    state.complete(attempt.index, row)
+            finally:
+                runner.cache = previous
 
 
 #: worker-process state: one runner per (process, config)
@@ -364,28 +723,31 @@ def _init_worker(
     from .runner import BenchmarkRunner  # after sys.path fix-up
 
     global _WORKER_RUNNER
+    inject.mark_worker()
+    inject.fire("pool.spawn", key=str(os.getpid()))
     cache = ArtifactCache(cache_root) if cache_root else None
     _WORKER_RUNNER = BenchmarkRunner(CompilerConfig(**config_kwargs), cache=cache)
 
 
-def _run_worker_task(task: GridTask) -> Dict[str, Any]:
-    return execute_task(_WORKER_RUNNER, task)
+def _run_worker_task(task: GridTask, attempt: int = 0) -> Dict[str, Any]:
+    return execute_task(_WORKER_RUNNER, task, attempt=attempt)
 
 
 def make_backend(
     mode: str,
     jobs: Optional[int] = None,
     cache: Union[ArtifactCache, str, os.PathLike, None] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> ExecutionBackend:
     """Build a backend by name: ``serial`` | ``cached`` | ``parallel``."""
     if mode == "serial":
-        return SerialBackend()
+        return SerialBackend(policy=policy)
     if mode == "cached":
         if cache is None:
             raise ValueError("cached backend needs a cache directory")
-        return CachedBackend(cache)
+        return CachedBackend(cache, SerialBackend(policy=policy))
     if mode == "parallel":
-        return ParallelBackend(jobs=jobs, cache=cache)
+        return ParallelBackend(jobs=jobs, cache=cache, policy=policy)
     raise ValueError(f"unknown backend mode {mode!r}")
 
 

@@ -238,6 +238,10 @@ class BenchmarkRunner:
             if row is not None:
                 row = dict(row)
                 row["cached"] = True
+                # identity fields are as THIS call spelled them: keys are
+                # content-addressed over the source text, so two benchmark
+                # names generating identical source share an entry
+                row["name"] = name
                 row["optimization"] = optimization
                 row["wall_seconds"] = time.perf_counter() - start
                 return BenchmarkPoint(**row)
@@ -479,6 +483,9 @@ class BenchmarkRunner:
             if row is not None:
                 row = dict(row)
                 row["cached"] = True
+                # see measure(): content-addressed keys can be shared by
+                # two names whose generated source is identical
+                row["name"] = name
                 row["optimization"] = optimization
                 row["wall_seconds"] = time.perf_counter() - start
                 return OptimizerPoint(**row)
@@ -499,18 +506,77 @@ class BenchmarkRunner:
         return point
 
     # ------------------------------------------------------------ grid sweeps
-    def run_grid(self, tasks: Iterable["GridTask"], progress=None) -> "GridResult":
+    def run_grid(
+        self,
+        tasks: Iterable["GridTask"],
+        progress=None,
+        journal: Optional["SweepJournal"] = None,
+        resume: bool = False,
+    ) -> "GridResult":
         """Run a (benchmark × depth × optimization × optimizer) task grid.
 
         Dispatches to the runner's execution backend (serial when none was
         configured); see :mod:`repro.benchsuite.parallel` for the task and
         result types and the process-pool backend.
+
+        With a :class:`~repro.benchsuite.resilience.SweepJournal`, every
+        completed row is checkpointed as it lands; ``resume=True`` replays
+        journaled rows (marked ``journal_resumed: True``) and executes
+        only the remainder, while ``resume=False`` discards any previous
+        checkpoint first.  Failure rows are never journaled — a failed
+        task runs again on resume.
         """
         from .parallel import GridResult, SerialBackend
+        from .resilience import task_fingerprint
 
         backend = self.backend or SerialBackend()
         task_list = list(tasks)
-        return GridResult(backend.run(self, task_list, progress=progress))
+        if journal is None:
+            return GridResult(backend.run(self, task_list, progress=progress))
+
+        fingerprints = [task_fingerprint(task, self.config) for task in task_list]
+        if resume:
+            checkpointed = journal.load()
+        else:
+            journal.reset()
+            checkpointed = {}
+        rows_by_index: Dict[int, Dict[str, Any]] = {}
+        pending: List[int] = []
+        for i, fp in enumerate(fingerprints):
+            row = checkpointed.get(fp)
+            if row is None:
+                pending.append(i)
+            else:
+                row = dict(row)
+                row["journal_resumed"] = True
+                rows_by_index[i] = row
+        done = len(rows_by_index)
+        total = len(task_list)
+        if progress is not None:
+            for i in sorted(rows_by_index):
+                progress(done, total, rows_by_index[i])
+
+        def on_row(pending_index: int, row: Dict[str, Any]) -> None:
+            i = pending[pending_index]
+            rows_by_index[i] = row
+            if not row.get("failed"):
+                journal.append(fingerprints[i], row)
+
+        def journal_progress(_done, _total, row):
+            if progress is not None:
+                progress(len(rows_by_index), total, row)
+
+        try:
+            if pending:
+                backend.run(
+                    self,
+                    [task_list[i] for i in pending],
+                    progress=journal_progress,
+                    on_row=on_row,
+                )
+        finally:
+            journal.close()
+        return GridResult([rows_by_index[i] for i in sorted(rows_by_index)])
 
 
 def default_depths() -> List[int]:

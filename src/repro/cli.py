@@ -174,6 +174,31 @@ def _parse_depths(spec: str) -> list:
     return [int(part) for part in spec.split(",") if part]
 
 
+#: row keys that legitimately differ between two runs of the same grid
+#: (timings, cache/journal provenance, retry counts) — everything else is
+#: covered by the bit-identity contract that --check-against enforces
+VOLATILE_ROW_KEYS = frozenset(
+    [
+        "wall_seconds",
+        "compile_seconds",
+        "seconds",
+        "timings",
+        "cached",
+        "prefix_cached",
+        "journal_resumed",
+        "attempts",
+    ]
+)
+
+
+def _stable_rows(rows):
+    """Rows minus the volatile keys, for cross-run bit-identity checks."""
+    return [
+        {k: v for k, v in row.items() if k not in VOLATILE_ROW_KEYS}
+        for row in rows
+    ]
+
+
 def cmd_bench(args) -> int:
     import json
     import pathlib
@@ -183,10 +208,13 @@ def cmd_bench(args) -> int:
         ArtifactCache,
         BenchmarkRunner,
         GRID_SELECTORS,
+        RetryPolicy,
+        SweepJournal,
         make_backend,
         paper_grid,
     )
     from .benchsuite.runner import default_depths
+    from .faults import inject, parse_fault_plan
 
     config = _config(args)
     selectors = list(args.select or [])
@@ -209,13 +237,34 @@ def cmd_bench(args) -> int:
         return 2
 
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
-    if args.jobs > 1:
-        backend = make_backend("parallel", jobs=args.jobs, cache=cache)
-    elif cache is not None:
-        backend = make_backend("cached", cache=cache)
-    else:
-        backend = make_backend("serial")
+    if args.resume and cache is None:
+        print("error: --resume needs --cache-dir (the journal lives there)",
+              file=sys.stderr)
+        return 2
+    policy = RetryPolicy(
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        max_failures=args.max_failures,
+        seed=args.seed,
+    )
+    mode = args.backend
+    if mode == "auto":
+        if args.jobs > 1:
+            mode = "parallel"
+        elif cache is not None:
+            mode = "cached"
+        else:
+            mode = "serial"
+    if mode == "cached" and cache is None:
+        print("error: --backend cached needs --cache-dir", file=sys.stderr)
+        return 2
+    backend = make_backend(mode, jobs=args.jobs, cache=cache, policy=policy)
     runner = BenchmarkRunner(config, cache=cache, backend=backend)
+
+    plan = None
+    if args.inject_faults:
+        plan = parse_fault_plan(args.inject_faults, seed=args.seed)
+        inject.install(plan)
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -242,52 +291,112 @@ def cmd_bench(args) -> int:
 
     all_cached = True
     all_warm = True
-    for selector, tasks in grids:
-        start = time.perf_counter()
-        result = runner.run_grid(tasks, progress=progress)
-        elapsed = time.perf_counter() - start
-        if show:
-            print(file=sys.stderr)
-        all_cached = all_cached and result.cached_fraction() == 1.0
-        all_warm = all_warm and all(
-            row.get("cached") or row.get("prefix_cached")
-            for row in result.rows
-        )
-        artifact = {
-            "selector": selector,
-            "config": vars(config),
-            "depths": depths,
-            "tree_depths": tree_depths,
-            "jobs": args.jobs,
-            "backend": backend.name,
-            "package_version": __version__,
-            "elapsed_seconds": round(elapsed, 4),
-            "cached_fraction": round(result.cached_fraction(), 4),
-            "rows": result.rows,
-        }
-        if args.pipeline:
-            artifact["pipeline"] = args.pipeline
-            prefix_rows = [
-                row for row in result.rows
-                if row.get("prefix_cached") and not row.get("cached")
-            ]
-            if prefix_rows:
-                print(
-                    f"{len(prefix_rows)}/{len(result)} points resumed from "
-                    "a cached pipeline prefix (no recompile)"
+    total_failed = 0
+    mismatched = False
+    try:
+        for selector, tasks in grids:
+            journal = None
+            if cache is not None:
+                journal = SweepJournal.for_grid(
+                    cache.root, selector, tasks, config
                 )
-        path = out_dir / f"{selector}.json"
-        path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
-        print(
-            f"{selector}: {len(result)} points in {elapsed:.2f}s "
-            f"({100 * result.cached_fraction():.0f}% cached) -> {path}"
-        )
+            start = time.perf_counter()
+            result = runner.run_grid(
+                tasks, progress=progress, journal=journal, resume=args.resume
+            )
+            elapsed = time.perf_counter() - start
+            if show:
+                print(file=sys.stderr)
+            resumed = sum(bool(r.get("journal_resumed")) for r in result.rows)
+            failed = len(result.failed_rows)
+            total_failed += failed
+            all_cached = all_cached and result.cached_fraction() == 1.0
+            all_warm = all_warm and all(
+                row.get("cached") or row.get("prefix_cached")
+                for row in result.ok()
+            )
+            artifact = {
+                "selector": selector,
+                "config": vars(config),
+                "depths": depths,
+                "tree_depths": tree_depths,
+                "jobs": args.jobs,
+                "backend": backend.name,
+                "package_version": __version__,
+                "elapsed_seconds": round(elapsed, 4),
+                "cached_fraction": round(result.cached_fraction(), 4),
+                "failed": failed,
+                "rows": result.rows,
+            }
+            if plan is not None:
+                artifact["fault_plan"] = plan.to_env()
+            if args.pipeline:
+                artifact["pipeline"] = args.pipeline
+                prefix_rows = [
+                    row for row in result.rows
+                    if row.get("prefix_cached") and not row.get("cached")
+                ]
+                if prefix_rows:
+                    print(
+                        f"{len(prefix_rows)}/{len(result)} points resumed from "
+                        "a cached pipeline prefix (no recompile)"
+                    )
+            path = out_dir / f"{selector}.json"
+            path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+            status = f"{selector}: {len(result)} points in {elapsed:.2f}s " \
+                     f"({100 * result.cached_fraction():.0f}% cached)"
+            if resumed:
+                status += f", {resumed} resumed from journal"
+            if failed:
+                status += f", {failed} FAILED"
+            print(f"{status} -> {path}")
+            for row in result.failed_rows:
+                print(
+                    f"  failed: {row['name']}@{row['depth']} "
+                    f"[{row['optimization']}] {row['error_kind']} "
+                    f"after {row['attempts']} attempt(s): {row['message']}",
+                    file=sys.stderr,
+                )
+            if args.check_against:
+                baseline = json.loads(
+                    pathlib.Path(args.check_against).read_text()
+                )
+                ours = _stable_rows(result.ok())
+                theirs = _stable_rows(
+                    [r for r in baseline["rows"] if not r.get("failed")]
+                )
+                if ours == theirs:
+                    print(f"{selector}: rows bit-identical to "
+                          f"{args.check_against}")
+                else:
+                    mismatched = True
+                    print(
+                        f"error: {selector}: rows differ from "
+                        f"{args.check_against} "
+                        f"({len(ours)} vs {len(theirs)} stable rows)",
+                        file=sys.stderr,
+                    )
+    finally:
+        if plan is not None:
+            inject.uninstall()
     if cache is not None:
         stats = cache.stats()
-        print(
+        line = (
             f"cache {args.cache_dir}: {stats['entries']} entries, "
             f"{stats['hits']} hits / {stats['misses']} misses this run"
         )
+        if stats["corrupt"] or stats["io_errors"]:
+            line += (
+                f", {stats['corrupt']} corrupt (quarantined), "
+                f"{stats['io_errors']} I/O errors"
+            )
+        print(line)
+    if mismatched:
+        return 1
+    if total_failed:
+        print(f"error: {total_failed} task(s) exhausted their retries",
+              file=sys.stderr)
+        return 1
     if args.require_cached and not all_cached:
         print("error: --require-cached set but some points were cold",
               file=sys.stderr)
@@ -296,6 +405,36 @@ def cmd_bench(args) -> int:
         print("error: --require-prefix set but some points neither replayed "
               "nor resumed from a cached pipeline prefix", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .benchsuite import ArtifactCache
+
+    cache = ArtifactCache(args.dir)
+    if args.action == "stats":
+        usage = cache.usage()
+        print(f"{args.dir}: {usage['entries']} entries, {usage['bytes']} bytes")
+        if usage["quarantine_entries"]:
+            print(
+                f"  quarantine: {usage['quarantine_entries']} entries, "
+                f"{usage['quarantine_bytes']} bytes"
+            )
+        return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("error: prune needs --max-bytes", file=sys.stderr)
+            return 2
+        report = cache.prune(args.max_bytes)
+        print(
+            f"{args.dir}: removed {report['removed_entries']} entries "
+            f"({report['removed_bytes']} bytes); "
+            f"{report['remaining_entries']} entries "
+            f"({report['remaining_bytes']} bytes) remain"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"{args.dir}: cleared {removed} entries")
     return 0
 
 
@@ -621,6 +760,38 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="benchmarks for --pipeline sweeps "
                               "(default: length length-simplified)")
+    p_bench.add_argument("--backend",
+                         choices=["auto", "serial", "cached", "parallel"],
+                         default="auto",
+                         help="execution backend (default: auto — parallel "
+                              "when --jobs > 1, cached when --cache-dir is "
+                              "set, else serial)")
+    p_bench.add_argument("--retries", type=int, default=2,
+                         help="retry budget per task; a task that still "
+                              "fails becomes a structured failure row "
+                              "(default: 2)")
+    p_bench.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-task wall-clock timeout; a late task's "
+                              "worker pool is torn down and the task retried")
+    p_bench.add_argument("--max-failures", type=int, default=None, metavar="N",
+                         help="abort the sweep once more than N tasks have "
+                              "exhausted their retries (default: never)")
+    p_bench.add_argument("--resume", action="store_true",
+                         help="resume an interrupted sweep from the journal "
+                              "under --cache-dir, recomputing nothing "
+                              "already checkpointed")
+    p_bench.add_argument("--inject-faults", default=None, metavar="SPEC",
+                         help="deterministic chaos: comma-separated "
+                              "kind:site[:p=F][:a=N] fault specs, e.g. "
+                              "'crash:worker.execute:p=0.3,"
+                              "corrupt:cache.store_point:p=0.2'")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="seed of the fault plan and backoff jitter")
+    p_bench.add_argument("--check-against", default=None, metavar="PATH",
+                         help="compare this sweep's rows against a previous "
+                              "bench artifact (timing/cache fields ignored); "
+                              "non-zero exit on any difference")
     p_bench.add_argument("--require-cached", action="store_true",
                          help="fail unless every point replays from the cache")
     p_bench.add_argument("--require-prefix", action="store_true",
@@ -633,6 +804,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--addr-width", type=int, default=3)
     p_bench.add_argument("--heap-cells", type=int, default=6)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, size-bound, or clear an artifact cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "prune", "clear"],
+                         help="stats: entry/byte usage incl. quarantine; "
+                              "prune: evict oldest entries down to "
+                              "--max-bytes; clear: remove everything")
+    p_cache.add_argument("dir", help="artifact cache directory")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="size bound for prune (bytes)")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_fuzz = sub.add_parser(
         "fuzz",

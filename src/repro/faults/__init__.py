@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the grid runner and artifact cache.
+
+Chaos engineering for the evaluation harness: a seeded
+:class:`~repro.faults.plan.FaultPlan` injects crashes, hangs, transient
+exceptions and torn cache writes at named sites
+(:data:`~repro.faults.plan.SITES`), activated through the
+``REPRO_FAULTS`` environment variable so the same plan fires inside
+worker processes.  ``repro bench --inject-faults <spec>`` drives chaos
+sweeps end to end; the resilience layer in
+:mod:`repro.benchsuite.parallel` must produce measurement rows
+bit-identical to a clean serial run under any plan.
+"""
+
+from .inject import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    current_plan,
+    fire,
+    install,
+    mangle,
+    mark_worker,
+    uninstall,
+)
+from .plan import (
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "KINDS",
+    "SITES",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "current_plan",
+    "fire",
+    "install",
+    "mangle",
+    "mark_worker",
+    "parse_fault_plan",
+    "uninstall",
+]

@@ -1,0 +1,136 @@
+"""The env-var-activated injection hook the instrumented sites call.
+
+The grid runner and the artifact cache call :func:`fire` / :func:`mangle`
+at their choke points; with no plan installed both are near-free no-ops.
+Activation travels through the ``REPRO_FAULTS`` environment variable so
+that worker processes — forked *or* spawned — inject the same plan as the
+parent without any explicit plumbing: :func:`install` writes the plan to
+``os.environ``, and every process lazily parses whatever the variable
+currently holds.
+
+Worker processes call :func:`mark_worker` from the pool initializer; in a
+worker a ``crash`` fault kills the process outright (``os._exit``), which
+is what surfaces as ``BrokenProcessPool`` to the parent.  In the parent
+(or a degraded serial sweep) the same fault raises
+:class:`~repro.faults.plan.InjectedCrash` instead, so the resilience
+machinery can turn it into a retry or a failure row rather than losing
+the whole interpreter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Optional
+
+from .plan import FaultPlan, InjectedCrash, InjectedFault, parse_fault_plan
+
+#: the activation channel; holds ``FaultPlan.to_env()``
+ENV_VAR = "REPRO_FAULTS"
+
+_CACHED_ENV: Optional[str] = None
+_CACHED_PLAN: Optional[FaultPlan] = None
+_IN_WORKER = False
+
+#: exit status of an injected worker crash (distinctive in pool logs)
+CRASH_EXIT_CODE = 86
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The active plan, tracking ``REPRO_FAULTS`` (None when unset)."""
+    global _CACHED_ENV, _CACHED_PLAN
+    env = os.environ.get(ENV_VAR)
+    if env != _CACHED_ENV:
+        _CACHED_ENV = env
+        _CACHED_PLAN = parse_fault_plan(env) if env else None
+    return _CACHED_PLAN
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Activate a plan process-wide (and for future child processes)."""
+    if plan is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = plan.to_env()
+    current_plan()  # refresh the cache now
+
+
+def uninstall() -> None:
+    """Deactivate fault injection."""
+    install(None)
+
+
+def mark_worker(flag: bool = True) -> None:
+    """Declare this process a pool worker (crashes become ``os._exit``)."""
+    global _IN_WORKER
+    _IN_WORKER = flag
+
+
+def fire(site: str, key: str = "", attempt: Optional[int] = None) -> None:
+    """Run the active plan's crash/hang/flaky faults bound to ``site``.
+
+    ``attempt`` is the caller's retry counter when it has one (task
+    execution); cache sites leave it ``None`` and draw a fresh decision
+    per invocation of the same key instead.
+    """
+    plan = current_plan()
+    if plan is None:
+        return
+    specs = [s for s in plan.at(site) if s.kind != "corrupt"]
+    if not specs:
+        return
+    turn = plan.next_call(site, key) if attempt is None else attempt
+    for spec in specs:
+        if not plan.should_fire(spec, key, turn):
+            continue
+        if spec.kind == "crash":
+            if _IN_WORKER:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(
+                f"injected crash at {site} (key={key!r}, attempt={turn})"
+            )
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+        elif spec.kind == "flaky":
+            if site.startswith("cache."):
+                raise OSError(
+                    f"injected transient I/O error at {site} (key={key!r})"
+                )
+            raise InjectedFault(
+                f"injected transient fault at {site} (key={key!r}, attempt={turn})"
+            )
+
+
+def mangle(site: str, key: str, data: bytes) -> bytes:
+    """Apply the plan's ``corrupt`` faults to a cache write's bytes.
+
+    Returns ``data`` unchanged when nothing fires; otherwise one of three
+    deterministic corruptions keyed on (seed, site, key, turn): a torn
+    (truncated) write, a single flipped byte, or same-length garbage.
+    """
+    plan = current_plan()
+    if plan is None:
+        return data
+    specs = [s for s in plan.at(site) if s.kind == "corrupt"]
+    if not specs:
+        return data
+    turn = plan.next_call(site, key)
+    for spec in specs:
+        if not plan.should_fire(spec, key, turn):
+            continue
+        digest = hashlib.sha256(
+            f"{plan.seed}|mangle|{site}|{key}|{turn}".encode("utf-8")
+        ).digest()
+        mode = digest[0] % 3
+        if mode == 0 and len(data) > 1:
+            # torn write: keep a strict prefix
+            cut = 1 + digest[1] * (len(data) - 1) // 255
+            data = data[: min(cut, len(data) - 1)]
+        elif mode == 1 and data:
+            pos = int.from_bytes(digest[1:5], "little") % len(data)
+            data = data[:pos] + bytes([data[pos] ^ (digest[5] or 1)]) + data[pos + 1:]
+        else:
+            pattern = digest * (len(data) // len(digest) + 1)
+            data = pattern[: len(data)]
+    return data

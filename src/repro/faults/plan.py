@@ -1,0 +1,233 @@
+"""Deterministic fault plans: what breaks, where, and with what probability.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultSpec` entries, each
+binding a fault *kind* to a named injection *site*:
+
+========  ==================================================================
+kind      effect when it fires
+========  ==================================================================
+crash     kill the worker process (``os._exit``); in the parent process it
+          raises :class:`InjectedCrash` instead, so a degraded serial sweep
+          survives the same plan
+hang      sleep for ``s`` seconds (default 30), long enough to trip any
+          per-task timeout
+flaky     raise a transient exception (:class:`InjectedFault`, or
+          ``OSError`` at ``cache.*`` sites so it exercises the cache's
+          I/O-error classification)
+corrupt   mangle the bytes of a cache write — truncation, a flipped byte,
+          or same-length garbage — simulating a torn or bit-rotted entry
+========  ==================================================================
+
+Sites are the choke points of the grid runner: ``worker.execute``,
+``pool.spawn``, ``cache.store_point``, ``cache.store_circuit``,
+``cache.load_point``, ``cache.load_circuit``.
+
+Whether a spec fires is a pure function of ``(seed, kind, site, key,
+attempt)`` — no global RNG state — so a chaos sweep is replayable: the
+same plan over the same grid injects the same faults at the same points.
+Two spec knobs bound the blast radius deterministically: ``a=<k>`` fires
+only on the first ``k`` attempts of a key (guaranteeing a bounded retry
+loop converges), and ``n=<k>`` caps total fires per (site, key) within
+one process.
+
+Spec string grammar (the ``--inject-faults`` argument)::
+
+    spec      := entry ("," entry)*
+    entry     := kind ":" site (":" param)*
+    param     := "p=" float | "a=" int | "n=" int | "s=" float
+
+Example::
+
+    crash:worker.execute:p=0.3,corrupt:cache.store_point:p=0.2
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+#: the named injection sites wired through the grid runner and the cache
+SITES = (
+    "worker.execute",
+    "pool.spawn",
+    "cache.store_point",
+    "cache.store_circuit",
+    "cache.load_point",
+    "cache.load_circuit",
+)
+
+KINDS = ("crash", "hang", "flaky", "corrupt")
+
+#: kinds that make sense only at write sites (they mangle bytes)
+_WRITE_ONLY = ("corrupt",)
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan spec string is malformed."""
+
+
+class InjectedFault(RuntimeError):
+    """A transient failure raised by a ``flaky`` fault."""
+
+
+class InjectedCrash(RuntimeError):
+    """A ``crash`` fault firing outside a worker process (in a worker the
+    process is killed outright instead)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind bound to one site."""
+
+    kind: str
+    site: str
+    probability: float = 1.0
+    #: fire only while ``attempt < max_attempt`` (None: every attempt)
+    max_attempt: Optional[int] = None
+    #: cap on total fires per (site, key) within one process
+    max_fires: Optional[int] = None
+    #: sleep duration of ``hang`` faults
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; available: {', '.join(KINDS)}"
+            )
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; available: {', '.join(SITES)}"
+            )
+        if self.kind in _WRITE_ONLY and not self.site.startswith("cache.store"):
+            raise FaultPlanError(
+                f"fault kind {self.kind!r} only applies to cache store sites"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_attempt is not None and self.max_attempt < 0:
+            raise FaultPlanError(f"a= must be >= 0, got {self.max_attempt}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise FaultPlanError(f"n= must be >= 1, got {self.max_fires}")
+        if self.seconds <= 0:
+            raise FaultPlanError(f"s= must be positive, got {self.seconds}")
+
+    def spec(self) -> str:
+        """The canonical spec-string form of this entry."""
+        parts = [self.kind, self.site, f"p={self.probability:g}"]
+        if self.max_attempt is not None:
+            parts.append(f"a={self.max_attempt}")
+        if self.max_fires is not None:
+            parts.append(f"n={self.max_fires}")
+        if self.kind == "hang" and self.seconds != 30.0:
+            parts.append(f"s={self.seconds:g}")
+        return ":".join(parts)
+
+
+def _decision(seed: int, kind: str, site: str, key: str, attempt: int) -> float:
+    """A uniform [0, 1) draw, pure in its arguments (no RNG state)."""
+    blob = f"{seed}|{kind}|{site}|{key}|{attempt}".encode("utf-8")
+    word = int.from_bytes(hashlib.sha256(blob).digest()[:8], "little")
+    return word / 2**64
+
+
+class FaultPlan:
+    """A seeded set of fault specs with per-process fire accounting."""
+
+    def __init__(self, specs: Tuple[FaultSpec, ...], seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        #: per-(site, key) invocation counters (cache sites use these as
+        #: their "attempt" number, so repeated stores of one key draw
+        #: fresh decisions)
+        self._calls: Dict[Tuple[str, str], int] = {}
+        #: per-(spec, key) fire counters backing the ``n=`` cap
+        self._fired: Dict[Tuple[int, str], int] = {}
+
+    # --------------------------------------------------------------- queries
+    def at(self, site: str):
+        """The specs bound to one site."""
+        return [s for s in self.specs if s.site == site]
+
+    def should_fire(self, spec: FaultSpec, key: str, attempt: int) -> bool:
+        """Whether ``spec`` fires for this (key, attempt) — and record it."""
+        if spec.max_attempt is not None and attempt >= spec.max_attempt:
+            return False
+        index = self.specs.index(spec)
+        if (
+            spec.max_fires is not None
+            and self._fired.get((index, key), 0) >= spec.max_fires
+        ):
+            return False
+        if _decision(self.seed, spec.kind, spec.site, key, attempt) >= spec.probability:
+            return False
+        self._fired[(index, key)] = self._fired.get((index, key), 0) + 1
+        return True
+
+    def next_call(self, site: str, key: str) -> int:
+        """The per-process invocation index of a cache site (post-increment)."""
+        count = self._calls.get((site, key), 0)
+        self._calls[(site, key)] = count + 1
+        return count
+
+    # ------------------------------------------------------------ rendering
+    def spec_string(self) -> str:
+        return ",".join(s.spec() for s in self.specs)
+
+    def to_env(self) -> str:
+        """The environment-variable encoding (spec string + seed)."""
+        return f"{self.spec_string()}@seed={self.seed}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultPlan seed={self.seed} {self.spec_string()!r}>"
+
+
+def _parse_entry(text: str) -> FaultSpec:
+    parts = [p.strip() for p in text.split(":") if p.strip()]
+    if len(parts) < 2:
+        raise FaultPlanError(
+            f"fault entry {text!r} must be kind:site[:p=..][:a=..][:n=..][:s=..]"
+        )
+    kind, site = parts[0], parts[1]
+    kwargs: Dict[str, object] = {}
+    for param in parts[2:]:
+        if "=" not in param:
+            raise FaultPlanError(f"malformed fault parameter {param!r} in {text!r}")
+        name, value = param.split("=", 1)
+        try:
+            if name == "p":
+                kwargs["probability"] = float(value)
+            elif name == "a":
+                kwargs["max_attempt"] = int(value)
+            elif name == "n":
+                kwargs["max_fires"] = int(value)
+            elif name == "s":
+                kwargs["seconds"] = float(value)
+            else:
+                raise FaultPlanError(
+                    f"unknown fault parameter {name!r} in {text!r}"
+                )
+        except ValueError:
+            raise FaultPlanError(
+                f"malformed fault parameter {param!r} in {text!r}"
+            ) from None
+    return FaultSpec(kind, site, **kwargs)
+
+
+def parse_fault_plan(text: str, seed: int = 0) -> FaultPlan:
+    """Parse a spec string (optionally ``...@seed=N``) into a plan."""
+    text = text.strip()
+    if "@seed=" in text:
+        text, _, seed_part = text.rpartition("@seed=")
+        try:
+            seed = int(seed_part)
+        except ValueError:
+            raise FaultPlanError(f"malformed fault-plan seed {seed_part!r}") from None
+    entries = [part for part in text.split(",") if part.strip()]
+    if not entries:
+        raise FaultPlanError("empty fault plan")
+    return FaultPlan(tuple(_parse_entry(entry) for entry in entries), seed=seed)

@@ -1,0 +1,197 @@
+"""The deterministic fault-injection harness (:mod:`repro.faults`).
+
+Plans are pure functions of (seed, kind, site, key, attempt): parsing,
+decision draws and byte corruption must all replay identically, because
+the chaos CI job asserts bit-identical sweep rows against a clean run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import (
+    ENV_VAR,
+    FaultPlanError,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    inject,
+    parse_fault_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    inject.current_plan()  # resync the module cache with the clean env
+    yield
+    inject.current_plan()
+
+
+# ------------------------------------------------------------------- parsing
+def test_parse_roundtrip():
+    text = "crash:worker.execute:p=0.3,corrupt:cache.store_point:p=0.2"
+    plan = parse_fault_plan(text, seed=42)
+    assert plan.seed == 42
+    assert plan.spec_string() == text
+    assert plan.to_env() == text + "@seed=42"
+    again = parse_fault_plan(plan.to_env())
+    assert again.seed == 42
+    assert again.spec_string() == text
+
+
+def test_parse_all_knobs():
+    plan = parse_fault_plan("flaky:cache.load_point:p=0.5:a=3:n=2", seed=7)
+    (spec,) = plan.specs
+    assert spec.kind == "flaky"
+    assert spec.site == "cache.load_point"
+    assert spec.probability == 0.5
+    assert spec.max_attempt == 3
+    assert spec.max_fires == 2
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "explode:worker.execute",       # unknown kind
+        "crash:warp.core",              # unknown site
+        "crash:worker.execute:p=2.0",   # probability out of range
+        "crash:worker.execute:a=-1",    # negative attempt cap
+        "crash",                        # missing site
+        "",                             # empty plan
+    ],
+)
+def test_parse_rejects(bad):
+    with pytest.raises(FaultPlanError):
+        parse_fault_plan(bad)
+
+
+# ----------------------------------------------------------------- decisions
+def test_decisions_are_deterministic():
+    a = parse_fault_plan("crash:worker.execute:p=0.3", seed=42)
+    b = parse_fault_plan("crash:worker.execute:p=0.3", seed=42)
+    keys = [f"task-{i}" for i in range(200)]
+    (spec,) = a.specs
+    draws_a = [a.should_fire(spec, k, 0) for k in keys]
+    draws_b = [b.should_fire(b.specs[0], k, 0) for k in keys]
+    assert draws_a == draws_b
+    # p=0.3 over 200 keys: some fire, most don't
+    assert 20 < sum(draws_a) < 120
+
+
+def test_decisions_vary_by_attempt_and_seed():
+    plan = parse_fault_plan("crash:worker.execute:p=0.5", seed=1)
+    other = parse_fault_plan("crash:worker.execute:p=0.5", seed=2)
+    (spec,) = plan.specs
+    by_attempt = {a: plan.should_fire(spec, "k", a) for a in range(64)}
+    assert len(set(by_attempt.values())) == 2  # not stuck on one outcome
+    diff = [
+        a
+        for a in range(64)
+        if plan.should_fire(spec, "k", a) != other.should_fire(other.specs[0], "k", a)
+    ]
+    assert diff  # a different seed draws a different stream
+
+
+def test_max_attempt_guarantees_convergence():
+    plan = parse_fault_plan("crash:worker.execute:p=1.0:a=2", seed=0)
+    (spec,) = plan.specs
+    assert plan.should_fire(spec, "k", 0)
+    assert plan.should_fire(spec, "k", 1)
+    assert not plan.should_fire(spec, "k", 2)  # retries past the cap succeed
+
+
+def test_max_fires_caps_per_plan_instance():
+    plan = parse_fault_plan("flaky:cache.load_point:p=1.0:n=2", seed=0)
+    fired = 0
+    for _ in range(5):
+        try:
+            inject_fire_one(plan)
+        except OSError:
+            fired += 1
+    assert fired == 2
+
+
+def inject_fire_one(plan):
+    (spec,) = plan.specs
+    turn = plan.next_call(spec.site, "k")
+    if plan.should_fire(spec, "k", turn):
+        raise OSError("injected")
+
+
+# ---------------------------------------------------------------- activation
+def test_install_roundtrips_through_env():
+    plan = parse_fault_plan("flaky:worker.execute:p=1.0", seed=9)
+    inject.install(plan)
+    try:
+        assert os.environ[ENV_VAR] == plan.to_env()
+        active = inject.current_plan()
+        assert active is not None
+        assert active.to_env() == plan.to_env()
+        with pytest.raises(InjectedFault):
+            inject.fire("worker.execute", key="k", attempt=0)
+    finally:
+        inject.uninstall()
+    assert ENV_VAR not in os.environ
+    assert inject.current_plan() is None
+    inject.fire("worker.execute", key="k", attempt=0)  # no-op when inactive
+
+
+def test_crash_raises_in_parent_process():
+    inject.install(parse_fault_plan("crash:worker.execute:p=1.0", seed=0))
+    try:
+        inject.mark_worker(False)
+        with pytest.raises(InjectedCrash):
+            inject.fire("worker.execute", key="k", attempt=0)
+    finally:
+        inject.uninstall()
+
+
+def test_flaky_cache_site_raises_oserror():
+    inject.install(parse_fault_plan("flaky:cache.load_point:p=1.0", seed=0))
+    try:
+        with pytest.raises(OSError):
+            inject.fire("cache.load_point", key="k")
+    finally:
+        inject.uninstall()
+
+
+# ------------------------------------------------------------------- mangling
+def test_mangle_is_deterministic_and_corrupting():
+    inject.install(parse_fault_plan("corrupt:cache.store_point:p=1.0", seed=3))
+    try:
+        data = b'{"format": 2, "row": {"t": 17}}' * 4
+        one = inject.mangle("cache.store_point", "key-a", data)
+        inject.uninstall()
+        inject.install(parse_fault_plan("corrupt:cache.store_point:p=1.0", seed=3))
+        two = inject.mangle("cache.store_point", "key-a", data)
+        assert one == two          # same plan, same call index -> same bytes
+        assert one != data         # and the bytes really are corrupted
+        assert len(one) <= len(data)
+    finally:
+        inject.uninstall()
+
+
+def test_mangle_noop_without_plan():
+    data = b"payload"
+    assert inject.mangle("cache.store_point", "k", data) == data
+
+
+def test_mangle_modes_cover_truncate_flip_garbage():
+    inject.install(parse_fault_plan("corrupt:cache.store_point:p=1.0", seed=5))
+    try:
+        data = bytes(range(256))
+        seen = set()
+        for i in range(30):
+            out = inject.mangle("cache.store_point", f"key-{i}", data)
+            assert out != data
+            if len(out) < len(data):
+                seen.add("truncate")
+            else:
+                delta = sum(a != b for a, b in zip(out, data))
+                seen.add("flip" if delta == 1 else "garbage")
+        assert seen == {"truncate", "flip", "garbage"}
+    finally:
+        inject.uninstall()
