@@ -1,0 +1,241 @@
+"""Dead-branch and unreachable-statement lints: RPA201, RPA202, RPA203.
+
+A forward constant-propagation dataflow (on the surface AST, so spans are
+precise) tracks variables bound to literal constants; an ``if`` whose
+condition folds to a constant is a dead branch — either the body never
+runs (statically false) or the ``if`` is a no-op wrapper (statically
+true).  The desugarer itself folds such conditions away, so the flagged
+code costs nothing at runtime; the lint surfaces it because the *source*
+still reads as conditional.
+
+RPA202 flags empty blocks (an ``if``/``with`` arm with no statements) and
+RPA203 flags calls whose recursion bound is a literal ``<= 0`` — by the
+bounded-recursion semantics ``f[0]`` is the zero value of the return
+type, so the call computes nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..errors import Span
+from ..lang import ast
+from .dataflow import (
+    BODY,
+    FORWARD,
+    UNCOMPUTE,
+    Analysis,
+    NodeView,
+    iter_stmts,
+    run_surface,
+    stmt_exprs,
+    surface_calls,
+)
+from .diagnostics import Diagnostic, make_diagnostic
+
+#: abstract values: an int/bool constant, or TOP (statically unknown)
+TOP = object()
+Const = Union[int, bool, object]
+Env = Tuple[Tuple[str, Union[int, bool]], ...]  # sorted, consts only
+
+
+def _env_get(env: Env, name: str) -> Const:
+    for key, value in env:
+        if key == name:
+            return value
+    return TOP
+
+
+def _env_set(env: Env, name: str, value: Const) -> Env:
+    items = {k: v for k, v in env}
+    if value is TOP:
+        items.pop(name, None)
+    else:
+        items[name] = value  # type: ignore[assignment]
+    return tuple(sorted(items.items()))
+
+
+def eval_const(expr: ast.SExpr, env: Env) -> Const:
+    """Fold a surface expression to a constant when statically possible.
+
+    Arithmetic is folded only when the result is provably width-
+    independent (booleans, equality of identical literals, comparisons of
+    small non-negative ints that no word width truncates differently).
+    """
+    if isinstance(expr, ast.EInt):
+        return expr.value
+    if isinstance(expr, ast.EBool):
+        return expr.value
+    if isinstance(expr, ast.EVar):
+        return _env_get(env, expr.name)
+    if isinstance(expr, ast.EUn):
+        inner = eval_const(expr.expr, env)
+        if inner is TOP:
+            return TOP
+        if expr.op == "not" and isinstance(inner, bool):
+            return not inner
+        if expr.op == "test" and isinstance(inner, int):
+            return bool(inner)
+        return TOP
+    if isinstance(expr, ast.EBin):
+        left = eval_const(expr.left, env)
+        right = eval_const(expr.right, env)
+        if left is TOP or right is TOP:
+            # short-circuit folds that hold regardless of the other side
+            if expr.op == "&&" and (left is False or right is False):
+                return False
+            if expr.op == "||" and (left is True or right is True):
+                return True
+            return TOP
+        if expr.op == "&&" and isinstance(left, bool) and isinstance(right, bool):
+            return left and right
+        if expr.op == "||" and isinstance(left, bool) and isinstance(right, bool):
+            return left or right
+        if expr.op in ("==", "!="):
+            equal = left == right
+            # identical literals compare equal at any width; differing
+            # small literals stay different only below the narrowest
+            # word width the toolchain uses (3 bits)
+            if equal or (
+                isinstance(left, int) and isinstance(right, int)
+                and 0 <= left < 8 and 0 <= right < 8
+            ):
+                return equal if expr.op == "==" else not equal
+            return TOP
+        if expr.op in ("<", ">"):
+            if (
+                isinstance(left, int) and isinstance(right, int)
+                and 0 <= left < 8 and 0 <= right < 8
+            ):
+                return left < right if expr.op == "<" else left > right
+            return TOP
+        return TOP
+    return TOP
+
+
+class _ConstProp(Analysis):
+    """Forward constant propagation + dead-branch detection."""
+
+    direction = FORWARD
+
+    def __init__(self, function: str) -> None:
+        self.function = function
+        self.findings: List[Tuple[str, Optional[Span]]] = []
+
+    def initial(self) -> Env:
+        return ()
+
+    def join(self, a: Env, b: Env) -> Env:
+        keys = {k for k, _ in a} & {k for k, _ in b}
+        return tuple(
+            sorted(
+                (k, _env_get(a, k))
+                for k in keys
+                if _env_get(a, k) == _env_get(b, k)
+            )
+        )  # type: ignore[misc]
+
+    def transfer(self, view: NodeView, state: Env, role: str = BODY) -> Env:
+        if view.kind == "let":
+            stmt = view.node
+            if role == UNCOMPUTE:
+                return _env_set(state, stmt.name, TOP)
+            # a re-declaration XORs onto the register: fold only when the
+            # name was previously unbound (not in env means unknown, so
+            # the conservative answer is TOP either way — only a fresh
+            # binding of a literal becomes a known constant)
+            if _env_get(state, stmt.name) is TOP:
+                value = eval_const(stmt.expr, state)
+            else:
+                value = TOP
+            return _env_set(state, stmt.name, value)
+        # any other write invalidates what we knew
+        out = state
+        for name in view.writes:
+            out = _env_set(out, name, TOP)
+        return out
+
+    def observe_if(self, view: NodeView, state: Env, role: str = BODY) -> Env:
+        stmt = view.node
+        folded = eval_const(stmt.cond, state)
+        if folded is not TOP:
+            self.findings.append(
+                (
+                    "statically "
+                    + ("true" if folded else "false")
+                    + (
+                        ": the branch always runs"
+                        if folded
+                        else ": the branch never runs"
+                    ),
+                    view.span,
+                )
+            )
+        out = state
+        for name in view.writes:
+            out = _env_set(out, name, TOP)
+        return out
+
+
+def check_dead_branches(fdef: ast.FunDef) -> List[Diagnostic]:
+    """RPA201 over one surface function."""
+    analysis = _ConstProp(fdef.name)
+    run_surface(fdef.body, analysis)
+    return [
+        make_diagnostic(
+            "RPA201",
+            f"'if' condition is {what}",
+            span=span or fdef.span,
+            function=fdef.name,
+        )
+        for what, span in analysis.findings
+    ]
+
+
+def check_empty_blocks(fdef: ast.FunDef) -> List[Diagnostic]:
+    """RPA202: empty if-arms and with-blocks (pure syntax walk)."""
+    diags: List[Diagnostic] = []
+
+    def note(what: str, span: Optional[Span]) -> None:
+        diags.append(
+            make_diagnostic(
+                "RPA202",
+                f"empty {what}",
+                span=span or fdef.span,
+                function=fdef.name,
+            )
+        )
+
+    for stmt in iter_stmts(fdef.body):
+        if isinstance(stmt, ast.SIf):
+            if not stmt.then:
+                note("'if' branch", stmt.span)
+            if stmt.otherwise is not None and not stmt.otherwise:
+                note("'else' branch", stmt.span)
+        elif isinstance(stmt, ast.SWith):
+            if not stmt.setup:
+                note("'with' setup", stmt.span)
+            if not stmt.body:
+                note("'with' body", stmt.span)
+    return diags
+
+
+def check_zero_bound_calls(fdef: ast.FunDef) -> List[Diagnostic]:
+    """RPA203: calls whose recursion bound is a literal ``<= 0``."""
+    diags: List[Diagnostic] = []
+    for stmt in iter_stmts(fdef.body):
+        for expr in stmt_exprs(stmt):
+            for call in surface_calls(expr):
+                size = call.size
+                if size is not None and size.var is None and size.offset <= 0:
+                    diags.append(
+                        make_diagnostic(
+                            "RPA203",
+                            f"call {call.func}[{size.offset}] has a "
+                            "recursion bound <= 0 and is statically the "
+                            "zero value of its return type",
+                            span=call.span or stmt.span or fdef.span,
+                            function=fdef.name,
+                        )
+                    )
+    return diags

@@ -1,0 +1,188 @@
+"""Diagnostics vocabulary for the static analyzer: codes, spans, renderers.
+
+Every finding the analyses in :mod:`repro.analysis` produce is a
+:class:`Diagnostic` with a *stable code* from :data:`CATALOG` (``RPA001``
+...), a severity, an optional source :class:`~repro.errors.Span` (threaded
+from the lexer through the parser), and the function it was found in.
+
+Output is deterministic by construction: diagnostics are sorted by
+``(line, column, code, message)`` and both renderers are pure functions of
+that sorted list — the hypothesis test in ``tests/test_analysis_lint.py``
+asserts byte-stability across runs and process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import Span
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: severity order for exit-code / max-severity decisions
+_SEVERITY_RANK: Mapping[str, int] = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: the stable diagnostic-code catalog.  Codes are append-only: a code's
+#: meaning never changes once released, and retired codes are not reused.
+CATALOG: Dict[str, Tuple[str, str]] = {
+    # frontend failures surfaced as findings (the linted program is data)
+    "RPA001": (ERROR, "the program does not parse"),
+    "RPA002": (ERROR, "the program does not typecheck"),
+    # uncomputation safety
+    "RPA101": (
+        ERROR,
+        "a 'with' body modifies a variable its setup depends on, so the "
+        "automatic uncomputation of the setup is unsound (Figure 20 'mod' "
+        "side condition)",
+    ),
+    "RPA102": (
+        WARNING,
+        "a binding is never used, returned, or uncomputed afterwards",
+    ),
+    "RPA103": (
+        INFO,
+        "a 'with' setup re-declares a name already bound in the enclosing "
+        "scope (the guarded-XOR re-declaration idiom; exercises "
+        "binding-count-aware typechecking)",
+    ),
+    # dead code / unreachable statements
+    "RPA201": (WARNING, "an 'if' condition is statically constant"),
+    "RPA202": (WARNING, "an empty block"),
+    "RPA203": (
+        WARNING,
+        "a call's recursion bound is statically <= 0, so the call is the "
+        "zero value of its return type",
+    ),
+    # superposition reachability
+    "RPA301": (
+        WARNING,
+        "the worst-case superposition support (2^H over reachable "
+        "Hadamards after inlining) exceeds the sparse-simulation cap",
+    ),
+}
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a stable code, a severity, a location, a message.
+
+    Field order defines the deterministic report order (position first, so
+    human output reads top-to-bottom through the file).
+    """
+
+    line: int
+    column: int
+    code: str
+    severity: str
+    message: str
+    function: str = ""
+
+    @property
+    def span(self) -> Optional[Span]:
+        return Span(self.line, self.column) if self.line > 0 else None
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "line": self.line,
+            "column": self.column,
+            "function": self.function,
+            "message": self.message,
+        }
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    *,
+    span: Optional[Span] = None,
+    function: str = "",
+    severity: Optional[str] = None,
+) -> Diagnostic:
+    """Build a diagnostic, defaulting the severity from :data:`CATALOG`."""
+    if code not in CATALOG:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    resolved = severity if severity is not None else CATALOG[code][0]
+    if resolved not in _SEVERITY_RANK:
+        raise KeyError(f"unknown severity {resolved!r}")
+    line = span.line if span is not None else 0
+    column = span.column if span is not None else 0
+    return Diagnostic(
+        line=line,
+        column=column,
+        code=code,
+        severity=resolved,
+        message=message,
+        function=function,
+    )
+
+
+def sort_diagnostics(diags: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """The canonical report order (and the dedup point)."""
+    return sorted(set(diags))
+
+
+def max_severity(diags: Sequence[Diagnostic]) -> Optional[str]:
+    """The most severe level present, or None for an empty report."""
+    if not diags:
+        return None
+    return min(diags, key=lambda d: _SEVERITY_RANK[d.severity]).severity
+
+
+def errors_of(diags: Sequence[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diags if d.severity == ERROR]
+
+
+def render_human(
+    diags: Sequence[Diagnostic], *, path: str = "<input>"
+) -> str:
+    """GCC-style one-line-per-finding text, ending with a summary line."""
+    lines: List[str] = []
+    deduped = sort_diagnostics(diags)
+    for d in deduped:
+        where = f"{path}:{d.line}:{d.column}" if d.line > 0 else path
+        infun = f" (in '{d.function}')" if d.function else ""
+        lines.append(
+            f"{where}: {d.severity}[{d.code}]: {d.message}{infun}"
+        )
+    counts = {
+        sev: sum(1 for d in deduped if d.severity == sev)
+        for sev in (ERROR, WARNING, INFO)
+    }
+    summary = ", ".join(
+        f"{counts[sev]} {sev}{'s' if counts[sev] != 1 else ''}"
+        for sev in (ERROR, WARNING, INFO)
+        if counts[sev]
+    )
+    lines.append(f"{path}: {summary or 'clean'}")
+    return "\n".join(lines)
+
+
+def render_json(
+    diags: Sequence[Diagnostic],
+    *,
+    path: str = "<input>",
+    extra: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """A machine-readable report (stable key order, stable row order)."""
+    payload: Dict[str, Any] = {
+        "path": path,
+        "diagnostics": [d.row() for d in sort_diagnostics(diags)],
+        "max_severity": max_severity(diags),
+    }
+    if extra:
+        payload.update(dict(extra))
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def catalog_rows() -> List[Dict[str, str]]:
+    """The code catalog as JSON-ready rows (docs and ``lint --codes``)."""
+    return [
+        {"code": code, "severity": sev, "summary": summary}
+        for code, (sev, summary) in sorted(CATALOG.items())
+    ]

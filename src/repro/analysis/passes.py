@@ -1,0 +1,121 @@
+"""The ``analyze`` pipeline stage: static bounds checked against circuits.
+
+:class:`AnalyzePass` runs before any rewrite.  It predicts the cost of the
+program *as this pipeline will rewrite it*: the pipeline's IR passes are
+applied to a scratch copy of the statement (with the pass manager's own
+engine-fusion grouping, so fused ``flatten,narrow`` matches the combined
+Spire traversal bit-for-bit) and the exact cost model prices the result.
+Cross-preset dominance is empirically false — flattening can *increase*
+T-complexity on programs whose conditionals are cheaper than the guard
+plumbing — so the bound is always per-pipeline, never "the cheapest
+preset".
+
+Under ``--verify-passes`` the manager then asserts:
+
+* at the ``lower`` boundary, the built circuit's MCX- and T-complexity
+  **equal** the static bound (the pipeline's rewrite did exactly what the
+  analysis priced);
+* after the final gate pass, the circuit's T-count is **at most** the
+  static bound (circuit optimizers never regress it).
+
+The pass also snapshots the core-IR lint findings (the Figure 20 ``mod``
+side condition) so a pipeline run records whether its input was clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..passes.base import (
+    ANALYZE,
+    DETERMINISTIC,
+    IR,
+    Pass,
+    SEMANTICS_PRESERVING,
+    STATIC_COST_BOUND,
+    get_pass_class,
+    make_pass,
+    register_pass,
+)
+from .diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class StaticCostBound:
+    """The analyze stage's prediction for one pipeline run."""
+
+    mcx: int
+    t: int
+    pipeline: str = ""
+    diagnostics: Tuple[Diagnostic, ...] = field(default=())
+
+    def row(self) -> dict:
+        return {
+            "mcx_bound": self.mcx,
+            "t_bound": self.t,
+            "pipeline": self.pipeline,
+            "diagnostics": [d.row() for d in self.diagnostics],
+        }
+
+
+def apply_ir_passes_statically(pipeline, stmt, table, param_types, config):
+    """Apply a pipeline's IR passes to ``stmt`` without running a manager.
+
+    Uses the manager's own grouping so engine-fused neighbours execute as
+    one traversal — structurally different from (and therefore priced
+    differently than) running them as separate sweeps.
+    """
+    # lazy: repro.passes imports this package to register the pass
+    from ..passes.builtin import ENGINES
+    from ..passes.manager import PassContext, _group_passes
+
+    scratch = PassContext(
+        table=table,
+        param_types=dict(param_types),
+        config=config,
+        stmt=stmt,
+    )
+    for group in _group_passes(pipeline):
+        specs = [spec for _, spec in group]
+        if get_pass_class(specs[0].name).stage != IR:
+            continue
+        if len(specs) > 1:
+            rules = frozenset().union(
+                *(get_pass_class(s.name).rules for s in specs)
+            )
+            engine = get_pass_class(specs[0].name).engine
+            scratch.stmt = ENGINES[engine](rules, scratch.stmt)
+        else:
+            make_pass(specs[0].name, **specs[0].kwargs()).apply(scratch)
+    return scratch.stmt
+
+
+@register_pass
+class AnalyzePass(Pass):
+    """Predict this pipeline's exact MCX/T cost and lint the core IR."""
+
+    name = "analyze"
+    stage = ANALYZE
+    # reads the program without rewriting it: trivially semantics-preserving
+    invariants = frozenset(
+        {SEMANTICS_PRESERVING, DETERMINISTIC, STATIC_COST_BOUND}
+    )
+
+    def apply(self, ctx) -> None:
+        from .costbound import counts_for_stmt
+        from .lint import lint_core_stmt
+
+        stmt = ctx.stmt
+        pipeline = getattr(ctx, "pipeline", None)
+        if pipeline is not None:
+            stmt = apply_ir_passes_statically(
+                pipeline, stmt, ctx.table, ctx.param_types, ctx.config
+            )
+        mcx, t = counts_for_stmt(stmt, ctx.table, ctx.param_types)
+        ctx.analysis = StaticCostBound(
+            mcx=mcx,
+            t=t,
+            pipeline=pipeline.spec() if pipeline is not None else "",
+            diagnostics=tuple(lint_core_stmt(ctx.stmt)),
+        )

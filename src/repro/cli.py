@@ -5,6 +5,11 @@ Commands:
 * ``compile`` — compile a Tower program and print complexity counts
   (optionally emitting the circuit in .qc format);
 * ``analyze`` — run the Section 5 cost model without building the circuit;
+  ``--symbolic`` instead fits closed-form T/MCX bounds in the depth bound
+  ``d`` (with per-function recurrences) from the static analysis;
+* ``lint`` — static analysis findings with stable ``RPA...`` codes
+  (uncomputation safety, dead code, superposition budget); exit code 1
+  on error-severity findings, 3 on an internal analysis error;
 * ``optimizers`` — run the circuit-optimizer baselines on the compiled
   circuit and compare T-counts;
 * ``resources`` — full resource report (T-count, T-depth, qubits);
@@ -35,6 +40,10 @@ Examples::
     python -m repro fuzz --seed 0 --count 200 --jobs 4 \\
         --save-failures tests/corpus/cases
     python -m repro fuzz --corpus tests/corpus --verify-passes
+    python -m repro lint examples/length.twr --entry length
+    python -m repro lint --table1 --json
+    python -m repro analyze examples/length.twr --entry length \\
+        --symbolic --optimize spire
 """
 
 from __future__ import annotations
@@ -50,7 +59,7 @@ from .compiler import compile_source
 from .config import CompilerConfig
 from .cost import PaperCostModel
 from .cost.resources import estimate_resources
-from .errors import ReproError
+from .errors import AnalysisError, ReproError
 from .lang import lower_source
 from .opt import OPTIMIZATIONS
 
@@ -76,6 +85,16 @@ def _config(args) -> CompilerConfig:
 def _read(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+#: the exit-code contract shared by ``repro lint`` and
+#: ``repro analyze --symbolic``: findings are data (1), broken invocations
+#: are usage errors (2), and a defect inside the analyses themselves is
+#: distinguishable from both (3)
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
 
 def cmd_compile(args) -> int:
@@ -126,6 +145,8 @@ def cmd_passes(args) -> int:
 
 def cmd_analyze(args) -> int:
     source = _read(args.file)
+    if args.symbolic:
+        return _analyze_symbolic(args, source)
     lowered = lower_source(source, args.entry, args.size, _config(args))
     from .compiler.pipeline import infer_cell_bits
     from .ir import check_program, infer_types
@@ -141,7 +162,97 @@ def cmd_analyze(args) -> int:
     print(f"cost model (Section 5), optimization={args.optimize}:")
     print(f"  C_MCX = {report.mcx}")
     print(f"  C_T   = {report.t}")
-    return 0
+    return EXIT_OK
+
+
+def _analyze_symbolic(args, source: str) -> int:
+    """``repro analyze --symbolic``: closed-form bounds in the depth
+    bound ``d``, sharing the lint report path (same JSON conventions,
+    same exit-code contract)."""
+    import json
+
+    from .analysis import symbolic_cost
+    from .lang.parser import parse_program
+
+    try:
+        program = parse_program(source)
+        report = symbolic_cost(
+            program, args.entry, args.optimize, _config(args)
+        )
+    except AnalysisError as err:
+        print(f"internal analysis error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    if args.json:
+        payload = {
+            "entry": report.entry,
+            "preset": report.preset,
+            "size_param": report.size_param,
+            "functions": report.rows(),
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(report.render_human())
+    return EXIT_OK
+
+
+def cmd_lint(args) -> int:
+    import json
+
+    from .analysis import catalog_rows, lint_source
+
+    if args.codes:
+        rows = catalog_rows()
+        if args.json:
+            print(json.dumps(rows, indent=1, sort_keys=True))
+        else:
+            print("diagnostic codes (repro lint):")
+            for row in rows:
+                print(f"  {row['code']}  [{row['severity']:<7}] "
+                      f"{row['summary']}")
+        return EXIT_OK
+
+    targets = []
+    if args.table1:
+        from .benchsuite.programs import ENTRIES, SOURCES, is_unsized
+
+        for name in sorted(SOURCES):
+            size = None if is_unsized(name) else args.size
+            targets.append((name, SOURCES[name], ENTRIES[name], size))
+    elif args.file:
+        targets.append((args.file, _read(args.file), args.entry, args.size))
+    else:
+        print("error: give a Tower source file, --table1, or --codes",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    reports = []
+    try:
+        for path, src, entry, size in targets:
+            reports.append(
+                lint_source(
+                    src, entry=entry, size=size,
+                    config=_config(args), path=path,
+                )
+            )
+    except AnalysisError as err:
+        print(f"internal analysis error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except ReproError as err:
+        # anything the linter should have turned into a finding but did
+        # not is an internal defect, not a lint result
+        print(f"internal analysis error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+    if args.json:
+        payload = [json.loads(report.render_json()) for report in reports]
+        out = payload[0] if len(payload) == 1 else payload
+        print(json.dumps(out, indent=1, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_human())
+    if any(report.errors for report in reports):
+        return EXIT_FINDINGS
+    return EXIT_OK
 
 
 def cmd_optimizers(args) -> int:
@@ -717,7 +828,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze = sub.add_parser("analyze", help="cost model only (no circuit)")
     _add_common(p_analyze)
     p_analyze.add_argument("--optimize", choices=sorted(OPTIMIZATIONS), default="none")
+    p_analyze.add_argument("--symbolic", action="store_true",
+                           help="fit closed-form T/MCX bounds in the depth "
+                                "bound d (with per-function recurrences) "
+                                "instead of evaluating one size")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="with --symbolic: machine-readable output")
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis findings (stable RPA codes)"
+    )
+    p_lint.add_argument("file", nargs="?", default=None,
+                        help="Tower source file")
+    p_lint.add_argument("--table1", action="store_true",
+                        help="lint every Table 1 benchmark instead of a file")
+    p_lint.add_argument("--entry", default=None,
+                        help="entry function (default: main, else the first "
+                             "function defined)")
+    p_lint.add_argument("--size", type=int, default=None,
+                        help="recursion bound for the lowered-entry checks "
+                             "(default: 3 for sized entries)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report (stable key order)")
+    p_lint.add_argument("--codes", action="store_true",
+                        help="print the diagnostic-code catalog and exit")
+    p_lint.add_argument("--word-width", type=int, default=4)
+    p_lint.add_argument("--addr-width", type=int, default=4)
+    p_lint.add_argument("--heap-cells", type=int, default=8)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_opt = sub.add_parser("optimizers", help="compare circuit optimizers")
     _add_common(p_opt)

@@ -57,6 +57,10 @@ class CompiledProgram:
     pass_records: List[Any] = field(default_factory=list)
     #: (canonical prefix spec, circuit) snapshots, when requested
     snapshots: List[Tuple[str, Circuit]] = field(default_factory=list)
+    #: the analyze stage's static cost bound
+    #: (:class:`repro.analysis.passes.StaticCostBound`), when the
+    #: pipeline included an ``analyze`` pass
+    analysis: Any = None
 
     # ----------------------------------------------------------- convenience
     def mcx_complexity(self) -> int:
@@ -141,6 +145,7 @@ def compile_core(
         pipeline=pipeline.spec(),
         pass_records=run.records,
         snapshots=run.snapshots,
+        analysis=run.analysis,
     )
 
 

@@ -143,6 +143,13 @@ class OracleConfig:
     amp_tol: float = 1e-7          #: per-amplitude tolerance of the oracles
     check_optimizers: bool = True
     check_statevector: bool = True
+    #: the static-analysis oracles: the symbolic cost machinery's static
+    #: (MCX, T) bound — computed from the surface program without building
+    #: a circuit — must equal the compiled circuit's counts at every
+    #: preset level, and a program whose reference core is free of
+    #: error-severity lint findings must stay that way after every
+    #: preset's IR rewrite
+    check_static_analysis: bool = True
     #: skip the circuit-optimizer baselines when the plain Clifford+T
     #: expansion's T-count exceeds this (``None`` = no cap).  Optimizer
     #: fixpoint passes and their statevector replays are linear in the
@@ -644,6 +651,59 @@ def _check_superposition_point(
     return packed_by_level[ref], reference_full
 
 
+def _check_static_analysis(
+    program: Program,
+    entry: str,
+    size: Optional[int],
+    compiles: Dict[str, CompiledProgram],
+    ref: str,
+    stats: Dict[str, Any],
+) -> None:
+    """The static-analysis oracles (see :class:`OracleConfig`).
+
+    Raw pipeline specs (used by bisection prefixes) are skipped by the
+    bound check — the static bound is defined per preset — but still
+    covered by the lint-stability check, which runs on the rewritten core
+    directly.
+    """
+    from ..analysis import lint_core_stmt, static_bounds
+    from ..opt import OPTIMIZATIONS as LEVELS
+
+    baseline_errors: Optional[Tuple[str, ...]] = None
+    for optimization, cp in compiles.items():
+        if optimization in LEVELS:
+            mcx, t = _stage(
+                f"static-bound[{optimization}]",
+                static_bounds,
+                program,
+                entry,
+                size,
+                optimization,
+                cp.config,
+            )
+            if (mcx, t) != (cp.mcx_complexity(), cp.t_complexity()):
+                raise OracleFailure(
+                    f"static-bound[{optimization}]",
+                    f"static analysis bound ({mcx}, {t}) != compiled "
+                    f"circuit ({cp.mcx_complexity()}, {cp.t_complexity()})",
+                )
+        diags = _stage(
+            f"lint-stability[{optimization}]", lint_core_stmt, cp.core
+        )
+        errors = tuple(
+            d.code for d in diags if d.severity == "error"
+        )
+        if optimization == ref:
+            baseline_errors = errors
+            stats["lint_errors"] = len(errors)
+        elif not baseline_errors and errors:
+            raise OracleFailure(
+                f"lint-stability[{optimization}]",
+                f"error-severity findings {sorted(set(errors))} appeared "
+                f"only after the {optimization!r} rewrite",
+            )
+
+
 def _run_oracles_impl(
     program: Program,
     entry: str = "main",
@@ -705,6 +765,9 @@ def _run_oracles_impl(
                 f"model ({mcx}, {t}) != circuit "
                 f"({cp.mcx_complexity()}, {cp.t_complexity()})",
             )
+
+    if cfg.check_static_analysis:
+        _check_static_analysis(program, entry, size, compiles, ref, stats)
 
     table = lowered.table
     widths = {

@@ -13,12 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..errors import Span
 from ..types import Type
 
 
 # ------------------------------------------------------------- expressions
 class SExpr:
-    """Base class for surface expressions."""
+    """Base class for surface expressions.
+
+    ``span`` is a class-level default overridden per *instance* by the
+    parser (via ``object.__setattr__``, see :func:`set_span`); it is not a
+    dataclass field, so structural equality and hashing — which the
+    render-roundtrip oracle depends on — ignore source positions.
+    """
+
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)
@@ -130,7 +139,21 @@ class ECall(SExpr):
 
 # -------------------------------------------------------------- statements
 class SStmt:
-    """Base class for surface statements."""
+    """Base class for surface statements (``span`` as on :class:`SExpr`)."""
+
+    span: Optional[Span] = None
+
+
+def set_span(node, span: Optional[Span]):
+    """Attach a source span to a (frozen) AST node, returning the node.
+
+    Spans are deliberately *not* dataclass fields: they never participate
+    in equality or hashing, so re-parsing a pretty-printed program yields
+    an AST equal to the original even though the positions moved.
+    """
+    if span is not None:
+        object.__setattr__(node, "span", span)
+    return node
 
 
 @dataclass(frozen=True)
@@ -204,6 +227,9 @@ class FunDef:
     body: Tuple[SStmt, ...]
     return_var: Optional[str]
     return_type: Optional[Type] = None
+
+    # class attribute, not a field — see SExpr.span
+    span = None
 
 
 @dataclass(frozen=True)

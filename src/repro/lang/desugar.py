@@ -157,13 +157,16 @@ class Desugarer:
         if isinstance(e, ENull):
             raise TypeCheckError(
                 "bare 'null' has no inferable type here; use default<ptr<T>> "
-                "or compare against a pointer"
+                "or compare against a pointer",
+                span=e.span,
             )
         if isinstance(e, EDefault):
             return AtomE(Lit(zero_value(e.ty, self.table)))
         if isinstance(e, EVar):
             if e.name not in scope.names:
-                raise TypeCheckError(f"unbound variable {e.name!r}")
+                raise TypeCheckError(
+                    f"unbound variable {e.name!r}", span=e.span
+                )
             return AtomE(Var(scope.names[e.name]))
         if isinstance(e, EPair):
             first = self.flatten_to_atom(e.first, scope, pre)
@@ -179,16 +182,22 @@ class Desugarer:
             left_null = isinstance(e.left, ENull)
             right_null = isinstance(e.right, ENull)
             if left_null and right_null:
-                raise TypeCheckError("cannot compare null with null")
+                raise TypeCheckError(
+                    "cannot compare null with null", span=e.span
+                )
             if left_null or right_null:
                 if e.op not in ("==", "!="):
-                    raise TypeCheckError(f"null only supports == and !=, not {e.op!r}")
+                    raise TypeCheckError(
+                        f"null only supports == and !=, not {e.op!r}",
+                        span=e.span,
+                    )
                 other = e.right if left_null else e.left
                 other_atom = self.flatten_to_atom(other, scope, pre)
                 other_ty = self.table.resolve(self.atom_type(other_atom))
                 if not isinstance(other_ty, PtrT):
                     raise TypeCheckError(
-                        f"comparison with null needs a pointer, got {other_ty}"
+                        f"comparison with null needs a pointer, got {other_ty}",
+                        span=e.span,
                     )
                 null_atom: Atom = Lit(PtrV(0, other_ty.elem))
                 if left_null:
@@ -199,7 +208,8 @@ class Desugarer:
             return BinOp(e.op, left, right)
         if isinstance(e, ECall):
             raise InlineError(
-                "calls may only appear as the entire right-hand side of a let"
+                "calls may only appear as the entire right-hand side of a let",
+                span=e.span,
             )
         raise TypeCheckError(f"unknown expression {e!r}")  # pragma: no cover
 
@@ -223,15 +233,15 @@ class Desugarer:
         if isinstance(s, SLet):
             return self.lower_let(s, scope)
         if isinstance(s, SSwapS):
-            left = self._lookup(s.left, scope)
-            right = self._lookup(s.right, scope)
+            left = self._lookup(s.left, scope, span=s.span)
+            right = self._lookup(s.right, scope, span=s.span)
             return Swap(left, right)
         if isinstance(s, SMemSwap):
-            pointer = self._lookup(s.pointer, scope)
-            value = self._lookup(s.value, scope)
+            pointer = self._lookup(s.pointer, scope, span=s.span)
+            value = self._lookup(s.value, scope, span=s.span)
             return MemSwap(pointer, value)
         if isinstance(s, SHadamard):
-            return Hadamard(self._lookup(s.name, scope))
+            return Hadamard(self._lookup(s.name, scope, span=s.span))
         if isinstance(s, SWith):
             setup = self.lower_stmts(s.setup, scope)
             body = self.lower_stmts(s.body, scope)
@@ -242,9 +252,9 @@ class Desugarer:
             return self.lower_if(s, scope)
         raise TypeCheckError(f"unknown statement {s!r}")  # pragma: no cover
 
-    def _lookup(self, name: str, scope: _Scope) -> str:
+    def _lookup(self, name: str, scope: _Scope, span=None) -> str:
         if name not in scope.names:
-            raise TypeCheckError(f"unbound variable {name!r}")
+            raise TypeCheckError(f"unbound variable {name!r}", span=span)
         return scope.names[name]
 
     def lower_let(self, s: SLet, scope: _Scope) -> Stmt:
@@ -253,7 +263,9 @@ class Desugarer:
             core_name = scope.names[s.name]
         else:
             if not s.forward:
-                raise TypeCheckError(f"un-assignment of unbound {s.name!r}")
+                raise TypeCheckError(
+                    f"un-assignment of unbound {s.name!r}", span=s.span
+                )
             core_name = self._core_name(s.name, scope)
             scope.names[s.name] = core_name
 
@@ -336,14 +348,16 @@ class Desugarer:
         if len(arg_names) != len(fdef.params):
             raise InlineError(
                 f"{fdef.name} expects {len(fdef.params)} arguments, "
-                f"got {len(arg_names)}"
+                f"got {len(arg_names)}",
+                span=call.span,
             )
         for (pname, pty), aname in zip(fdef.params, arg_names):
             aty = self.types.get(aname)
             if aty is not None and not self.table.equal(aty, pty):
                 raise TypeCheckError(
                     f"argument {aname!r} of type {aty} passed for "
-                    f"{fdef.name}.{pname} : {pty}"
+                    f"{fdef.name}.{pname} : {pty}",
+                    span=call.span,
                 )
 
         inner = self._inline_body(fdef, size, arg_names, target)
@@ -357,7 +371,9 @@ class Desugarer:
 
     def _resolve_fun(self, call: ECall) -> FunDef:
         if not self.program.has_fun(call.func):
-            raise InlineError(f"unknown function {call.func!r}")
+            raise InlineError(
+                f"unknown function {call.func!r}", span=call.span
+            )
         return self.program.fun(call.func)
 
     def _resolve_size(
@@ -365,14 +381,19 @@ class Desugarer:
     ) -> Optional[int]:
         if fdef.size_param is None:
             if call.size is not None:
-                raise InlineError(f"{fdef.name} takes no recursion bound")
+                raise InlineError(
+                    f"{fdef.name} takes no recursion bound", span=call.span
+                )
             return None
         if call.size is None:
-            raise InlineError(f"{fdef.name} requires a recursion bound [..]")
+            raise InlineError(
+                f"{fdef.name} requires a recursion bound [..]",
+                span=call.span,
+            )
         try:
             return call.size.evaluate(scope.size_env)
         except KeyError as exc:
-            raise InlineError(str(exc)) from exc
+            raise InlineError(str(exc), span=call.span) from exc
 
     def _inline_body(
         self,
@@ -384,13 +405,15 @@ class Desugarer:
         if fdef.return_var is None:
             raise InlineError(
                 f"{fdef.name} has no return statement; it cannot be used "
-                "as the right-hand side of a let"
+                "as the right-hand side of a let",
+                span=fdef.span,
             )
         if size is not None and size <= 0:
             if fdef.return_type is None:
                 raise InlineError(
                     f"recursive function {fdef.name} needs a return type "
-                    "annotation ('-> T') for its base case"
+                    "annotation ('-> T') for its base case",
+                    span=fdef.span,
                 )
             expr = AtomE(Lit(zero_value(fdef.return_type, self.table)))
             self.record_assign(target, expr)
@@ -399,7 +422,8 @@ class Desugarer:
         if size is None:
             if fdef.name in self._unsized_stack:
                 raise InlineError(
-                    f"function {fdef.name!r} recurses without a [n] bound"
+                    f"function {fdef.name!r} recurses without a [n] bound",
+                    span=fdef.span,
                 )
             self._unsized_stack.append(fdef.name)
 
@@ -453,9 +477,14 @@ def lower_entry(
     fdef = program.fun(entry)
     if fdef.size_param is not None:
         if size is None:
-            raise InlineError(f"{entry} requires a recursion bound (size=...)")
+            raise InlineError(
+                f"{entry} requires a recursion bound (size=...)",
+                span=fdef.span,
+            )
         if size < 1:
-            raise InlineError("entry-point recursion bound must be >= 1")
+            raise InlineError(
+                "entry-point recursion bound must be >= 1", span=fdef.span
+            )
     engine = Desugarer(program, table)
     mapping: Dict[str, str] = {}
     param_types: Dict[str, Type] = {}

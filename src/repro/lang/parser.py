@@ -25,8 +25,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..errors import ParseError
+from ..errors import ParseError, Span
 from .ast import (
+    set_span,
     EBin,
     EBool,
     ECall,
@@ -115,6 +116,10 @@ class Parser:
             return True
         return False
 
+    def spanned(self, node, token: Token):
+        """Attach ``token``'s position to ``node`` (equality-neutral)."""
+        return set_span(node, Span(token.line, token.column))
+
     # -------------------------------------------------------------- program
     def parse_program(self) -> Program:
         program = Program()
@@ -163,7 +168,7 @@ class Parser:
         raise self.error("expected a type")
 
     def parse_fundef(self) -> FunDef:
-        self.expect_keyword("fun")
+        fun_tok = self.expect_keyword("fun")
         name = self.expect_ident()
         size_param: Optional[str] = None
         if self.accept_punct("["):
@@ -194,7 +199,9 @@ class Parser:
                 break
             body.append(self.parse_stmt())
         self.expect_punct("}")
-        return FunDef(name, size_param, tuple(params), tuple(body), return_var, return_type)
+        fdef = FunDef(name, size_param, tuple(params), tuple(body),
+                      return_var, return_type)
+        return self.spanned(fdef, fun_tok)
 
     # ------------------------------------------------------------ statements
     def parse_block(self) -> Tuple[SStmt, ...]:
@@ -218,7 +225,7 @@ class Parser:
         if token.is_keyword("skip"):
             self.next()
             self.expect_punct(";")
-            return SSkip()
+            return self.spanned(SSkip(), token)
         if token.is_keyword("let"):
             self.next()
             name = self.expect_ident()
@@ -230,7 +237,7 @@ class Parser:
                 raise self.error("expected '<-' or '->'")
             expr = self.parse_expr()
             self.expect_punct(";")
-            return SLet(name, expr, forward)
+            return self.spanned(SLet(name, expr, forward), token)
         if token.is_keyword("if"):
             self.next()
             cond = self.parse_expr()
@@ -238,20 +245,20 @@ class Parser:
             otherwise: Optional[Tuple[SStmt, ...]] = None
             if self.accept_keyword("else"):
                 otherwise = self.parse_blockish()
-            return SIf(cond, then, otherwise)
+            return self.spanned(SIf(cond, then, otherwise), token)
         if token.is_keyword("with"):
             self.next()
             setup = self.parse_block()
             self.expect_keyword("do")
             body = self.parse_blockish()
-            return SWith(setup, body)
+            return self.spanned(SWith(setup, body), token)
         if token.is_punct("*"):
             self.next()
             pointer = self.expect_ident()
             self.expect_punct("<->")
             value = self.expect_ident()
             self.expect_punct(";")
-            return SMemSwap(pointer, value)
+            return self.spanned(SMemSwap(pointer, value), token)
         if token.kind is TokenKind.IDENT:
             name = self.next().text
             if name == "H" and self.peek().is_punct("("):
@@ -259,11 +266,11 @@ class Parser:
                 target = self.expect_ident()
                 self.expect_punct(")")
                 self.expect_punct(";")
-                return SHadamard(target)
+                return self.spanned(SHadamard(target), token)
             self.expect_punct("<->")
             right = self.expect_ident()
             self.expect_punct(";")
-            return SSwapS(name, right)
+            return self.spanned(SSwapS(name, right), token)
         raise self.error("expected a statement")
 
     # ----------------------------------------------------------- expressions
@@ -288,8 +295,8 @@ class Parser:
         expr = self.parse_add()
         for op in ("==", "!=", "<", ">"):
             if self.peek().is_punct(op):
-                self.next()
-                return EBin(op, expr, self.parse_add())
+                token = self.next()
+                return self.spanned(EBin(op, expr, self.parse_add()), token)
         return expr
 
     def parse_add(self) -> SExpr:
@@ -342,7 +349,7 @@ class Parser:
             return EBool(False)
         if token.is_keyword("null"):
             self.next()
-            return ENull()
+            return self.spanned(ENull(), token)
         if token.is_keyword("default"):
             self.next()
             self.expect_punct("<")
@@ -368,11 +375,11 @@ class Parser:
                 size = self.parse_size_expr()
                 self.expect_punct("]")
                 self.expect_punct("(")
-                return ECall(name, size, self.parse_args())
+                return self.spanned(ECall(name, size, self.parse_args()), token)
             if self.peek().is_punct("("):
                 self.next()
-                return ECall(name, None, self.parse_args())
-            return EVar(name)
+                return self.spanned(ECall(name, None, self.parse_args()), token)
+            return self.spanned(EVar(name), token)
         raise self.error("expected an expression")
 
     def parse_size_expr(self) -> SizeExpr:

@@ -9,6 +9,7 @@ the same registry, optionally suffixed with gate passes
 """
 
 from .base import (
+    ANALYZE,
     CLIFFORD_T_OUTPUT,
     DETERMINISTIC,
     GATES,
@@ -21,6 +22,7 @@ from .base import (
     PRESERVES_TYPES,
     SEMANTICS_PRESERVING,
     STAGES,
+    STATIC_COST_BOUND,
     TCOUNT_NONINCREASING,
     get_pass_class,
     make_pass,
@@ -40,7 +42,13 @@ from .pipeline import (
 )
 from .manager import PassContext, PassManager, PassRecord, PipelineRun
 
+# importing the analysis pass module registers the 'analyze' stage pass;
+# module-level (not from-) import keeps the circular edge with
+# repro.analysis safe in either import order
+from ..analysis import passes as _analysis_passes  # noqa: E402,F401
+
 __all__ = [
+    "ANALYZE",
     "CLIFFORD_T_OUTPUT",
     "DETERMINISTIC",
     "GATES",
@@ -53,6 +61,7 @@ __all__ = [
     "PRESERVES_TYPES",
     "SEMANTICS_PRESERVING",
     "STAGES",
+    "STATIC_COST_BOUND",
     "TCOUNT_NONINCREASING",
     "get_pass_class",
     "make_pass",

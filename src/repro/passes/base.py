@@ -1,8 +1,14 @@
 """The pass framework's core vocabulary: stages, invariants, the registry.
 
 A :class:`Pass` is one named, parameterized unit of the compilation
-pipeline.  Passes live in one of three *stages*:
+pipeline.  Passes live in one of four *stages*:
 
+``analyze``
+    Static analyses over the un-rewritten core IR
+    (:mod:`repro.analysis.passes`).  They never change the program; they
+    record predictions (the exact static cost bound) and lint findings on
+    the pass context, which verification mode checks against the built
+    circuit.
 ``ir``
     Core-IR rewrites (the Spire optimizations of Section 6).  They map a
     :class:`~repro.ir.core.Stmt` to a new ``Stmt``.
@@ -49,6 +55,9 @@ TCOUNT_NONINCREASING = "tcount_nonincreasing"
 CLIFFORD_T_OUTPUT = "clifford_t_output"
 #: running twice yields the same result as running once
 DETERMINISTIC = "deterministic"
+#: the analyze stage's static cost bound holds for the built circuit:
+#: equality at the lower boundary, dominance after every gate pass
+STATIC_COST_BOUND = "static_cost_bound"
 
 #: every invariant name a pass may declare
 KNOWN_INVARIANTS = frozenset(
@@ -58,13 +67,15 @@ KNOWN_INVARIANTS = frozenset(
         TCOUNT_NONINCREASING,
         CLIFFORD_T_OUTPUT,
         DETERMINISTIC,
+        STATIC_COST_BOUND,
     }
 )
 
+ANALYZE = "analyze"
 IR = "ir"
 LOWER = "lower"
 GATES = "gates"
-STAGES = (IR, LOWER, GATES)
+STAGES = (ANALYZE, IR, LOWER, GATES)
 
 
 class PassError(ReproError):

@@ -41,11 +41,13 @@ from ..ir.core import Stmt
 from ..ir.typecheck import check_program
 from ..types import Type, TypeTable
 from .base import (
+    ANALYZE,
     CLIFFORD_T_OUTPUT,
     GATES,
     IR,
     PassVerificationError,
     PRESERVES_TYPES,
+    STATIC_COST_BOUND,
     TCOUNT_NONINCREASING,
     get_pass_class,
     make_pass,
@@ -67,6 +69,11 @@ class PassContext:
     abstract: Any = None
     circuit: Optional[Circuit] = None
     decomposition_cache: Optional[DecompositionCache] = None
+    #: the pipeline being run (so analyze-stage passes can predict the
+    #: cost of the program as *this* pipeline will rewrite it)
+    pipeline: Optional[Pipeline] = None
+    #: analyze-stage output (:class:`repro.analysis.passes.StaticCostBound`)
+    analysis: Any = None
 
 
 @dataclass
@@ -110,6 +117,10 @@ class PipelineRun:
     #: (canonical prefix spec, circuit) at every replayable cut point,
     #: populated only when the manager keeps snapshots
     snapshots: List[Tuple[str, Circuit]] = field(default_factory=list)
+    #: the analyze stage's output (a
+    #: :class:`repro.analysis.passes.StaticCostBound`), when the pipeline
+    #: included an ``analyze`` pass
+    analysis: Any = None
 
 
 def _group_passes(pipeline: Pipeline) -> List[List[Tuple[int, PassSpec]]]:
@@ -164,6 +175,7 @@ class PassManager:
             config=table.config,
             stmt=stmt,
             decomposition_cache=self.decomposition_cache,
+            pipeline=self.pipeline,
         )
         records: List[PassRecord] = []
         snapshots: List[Tuple[str, Circuit]] = []
@@ -182,7 +194,7 @@ class PassManager:
         for group in groups:
             first_index, first = group[0]
             stage = get_pass_class(first.name).stage
-            if stage != IR and not relaxed_done:
+            if stage not in (ANALYZE, IR) and not relaxed_done:
                 relaxed_done = True
                 start = time.perf_counter()
                 if typecheck and self.pipeline.ir_passes:
@@ -194,7 +206,11 @@ class PassManager:
                 relaxed_seconds = time.perf_counter() - start
             record = self._run_group(ctx, group, typecheck=typecheck)
             records.append(record)
-            if stage == IR:
+            if stage == ANALYZE:
+                timings["analyze"] = (
+                    timings.get("analyze", 0.0) + record.seconds
+                )
+            elif stage == IR:
                 ir_seconds += record.seconds
             elif first.name == "alloc":
                 timings["lower_ir"] = record.seconds
@@ -202,12 +218,34 @@ class PassManager:
                 timings["lower_gates"] = record.seconds
             else:
                 timings[f"opt:{record.name}"] = record.seconds
+            if (
+                self.verify
+                and first.name == "lower"
+                and ctx.analysis is not None
+                and ctx.circuit is not None
+            ):
+                self._check_static_bound_at_lower(ctx)
             if self.keep_snapshots and ctx.circuit is not None and (
                 first.name == "lower" or stage == GATES
             ):
                 last_index = group[-1][0]
                 prefix = Pipeline(self.pipeline.passes[: last_index + 1])
                 snapshots.append((prefix.spec(), ctx.circuit))
+
+        if (
+            self.verify
+            and ctx.analysis is not None
+            and ctx.circuit is not None
+            and self.pipeline.gate_passes
+        ):
+            final_t = ctx.circuit.t_count()
+            if final_t > ctx.analysis.t:
+                raise PassVerificationError(
+                    "analyze",
+                    STATIC_COST_BOUND,
+                    f"gate passes regressed the static T bound: "
+                    f"{final_t} > {ctx.analysis.t}",
+                )
 
         timings["optimize"] = strict_seconds + ir_seconds
         timings["typecheck"] = relaxed_seconds
@@ -221,6 +259,7 @@ class PassManager:
             records=records,
             timings=timings,
             snapshots=snapshots,
+            analysis=ctx.analysis,
         )
 
     def run_gate_suffix(
@@ -259,6 +298,19 @@ class PassManager:
         return ctx.circuit, records, snapshots
 
     # ------------------------------------------------------------ internals
+    def _check_static_bound_at_lower(self, ctx: PassContext) -> None:
+        """The built circuit must cost exactly what the analyze stage
+        predicted for this pipeline's rewrite of the program."""
+        got = (ctx.circuit.mcx_complexity(), ctx.circuit.t_complexity())
+        want = (ctx.analysis.mcx, ctx.analysis.t)
+        if got != want:
+            raise PassVerificationError(
+                "analyze",
+                STATIC_COST_BOUND,
+                f"circuit (MCX, T) = {got} differs from the static "
+                f"bound {want}",
+            )
+
     def _run_group(
         self,
         ctx: PassContext,

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .base import GATES, IR, LOWER, PassError, get_pass_class
+from .base import ANALYZE, GATES, IR, LOWER, PassError, get_pass_class
 
 #: the historical optimization levels as IR-pass lists
 PRESETS: Dict[str, Tuple[str, ...]] = {
@@ -138,13 +138,14 @@ def _split_top_level(text: str, sep: str) -> List[str]:
 
 @dataclass(frozen=True)
 class Pipeline:
-    """An ordered, validated pass list (``ir* , alloc , lower , gates*``)."""
+    """An ordered, validated pass list
+    (``analyze* , ir* , alloc , lower , gates*``)."""
 
     passes: Tuple[PassSpec, ...]
 
     def __post_init__(self) -> None:
         seen_lower: List[str] = []
-        stage_rank = {IR: 0, LOWER: 1, GATES: 2}
+        stage_rank = {ANALYZE: 0, IR: 1, LOWER: 2, GATES: 3}
         last = -1
         for spec in self.passes:
             stage = spec.stage
@@ -185,6 +186,10 @@ class Pipeline:
         return cls(tuple(elements))
 
     # ------------------------------------------------------------ structure
+    @property
+    def analyze_passes(self) -> Tuple[PassSpec, ...]:
+        return tuple(p for p in self.passes if p.stage == ANALYZE)
+
     @property
     def ir_passes(self) -> Tuple[PassSpec, ...]:
         return tuple(p for p in self.passes if p.stage == IR)
@@ -233,10 +238,13 @@ class Pipeline:
 
     def ir_prefixes(self) -> Iterator["Pipeline"]:
         """Pipelines with growing IR-pass prefixes (for defect bisection)."""
-        structural = self.passes[len(self.ir_passes): self.lower_index]
+        head = self.analyze_passes
+        structural = tuple(
+            p for p in self.passes[: self.lower_index] if p.stage == LOWER
+        )
         ir = self.ir_passes
         for cut in range(1, len(ir) + 1):
-            yield Pipeline(ir[:cut] + structural)
+            yield Pipeline(head + ir[:cut] + structural)
 
     def __len__(self) -> int:
         return len(self.passes)

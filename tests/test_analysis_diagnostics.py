@@ -1,0 +1,154 @@
+"""Determinism of the diagnostics engine: report rendering must be
+byte-stable under input reordering, duplication, and process boundaries."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CATALOG,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    catalog_rows,
+    make_diagnostic,
+    max_severity,
+    render_human,
+    render_json,
+    sort_diagnostics,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+_diagnostics = st.builds(
+    Diagnostic,
+    line=st.integers(min_value=0, max_value=40),
+    column=st.integers(min_value=0, max_value=20),
+    code=st.sampled_from(sorted(CATALOG)),
+    severity=st.sampled_from([ERROR, WARNING, INFO]),
+    message=st.sampled_from(["a", "bb", "c c", "unused 'x'"]),
+    function=st.sampled_from(["", "main", "helper"]),
+)
+
+
+class TestOrderIndependence:
+    @given(
+        diags=st.lists(_diagnostics, max_size=12),
+        seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_renderers_ignore_input_order(self, diags, seed):
+        shuffled = list(diags)
+        seed.shuffle(shuffled)
+        # duplicates collapse too: the report is a set, not a log
+        duplicated = shuffled + shuffled
+        for variant in (shuffled, duplicated):
+            assert render_human(variant) == render_human(diags)
+            assert render_json(variant) == render_json(diags)
+            assert sort_diagnostics(variant) == sort_diagnostics(diags)
+
+    @given(diags=st.lists(_diagnostics, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_by_position_then_code(self, diags):
+        out = sort_diagnostics(diags)
+        keys = [(d.line, d.column, d.code) for d in out]
+        assert keys == sorted(keys)
+        assert len(out) == len(set(diags))
+
+
+class TestRenderers:
+    def test_human_summary_counts(self):
+        diags = [
+            make_diagnostic("RPA102", "dead"),
+            make_diagnostic("RPA201", "const"),
+            make_diagnostic("RPA001", "boom"),
+        ]
+        text = render_human(diags, path="x.twr")
+        assert text.endswith("x.twr: 1 error, 2 warnings")
+
+    def test_human_clean_summary(self):
+        assert render_human([], path="x.twr") == "x.twr: clean"
+
+    def test_json_is_valid_and_key_sorted(self):
+        diags = [make_diagnostic("RPA102", "dead", function="f")]
+        payload = json.loads(render_json(diags, path="x.twr"))
+        assert payload["path"] == "x.twr"
+        assert payload["max_severity"] == WARNING
+        row = payload["diagnostics"][0]
+        assert row["code"] == "RPA102"
+        assert row["function"] == "f"
+
+    def test_max_severity_ranks(self):
+        assert max_severity([]) is None
+        assert (
+            max_severity(
+                [
+                    make_diagnostic("RPA103", "i"),
+                    make_diagnostic("RPA102", "w"),
+                ]
+            )
+            == WARNING
+        )
+        assert (
+            max_severity(
+                [
+                    make_diagnostic("RPA102", "w"),
+                    make_diagnostic("RPA001", "e"),
+                ]
+            )
+            == ERROR
+        )
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("RPA999", "nope")
+
+    def test_catalog_rows_stable_and_sorted(self):
+        rows = catalog_rows()
+        assert rows == catalog_rows()
+        assert [r["code"] for r in rows] == sorted(CATALOG)
+        assert all(set(r) == {"code", "severity", "summary"} for r in rows)
+
+
+class TestProcessBoundary:
+    def _run_lint(self, target: Path, *flags: str) -> bytes:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(target), *flags],
+            capture_output=True,
+            timeout=300,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr.decode()
+        return result.stdout
+
+    def test_reports_identical_across_processes(self, tmp_path):
+        """Two fresh interpreters must emit byte-identical reports — no
+        hash-seed, dict-order, or locale dependence."""
+        target = tmp_path / "prog.twr"
+        target.write_text(
+            "fun main(x: uint) -> uint {\n"
+            "  let dead <- x + 1;\n"
+            "  with { let x <- 1; } do { skip; }\n"
+            "  let y <- x;\n"
+            "  return y;\n"
+            "}\n"
+        )
+        human = [self._run_lint(target) for _ in range(2)]
+        assert human[0] == human[1]
+        assert b"RPA102" in human[0] and b"RPA103" in human[0]
+        as_json = [self._run_lint(target, "--json") for _ in range(2)]
+        assert as_json[0] == as_json[1]
+        json.loads(as_json[0])  # well-formed

@@ -119,7 +119,7 @@ class TestRegistry:
 
     def test_catalog_rows_are_described(self):
         for row in pass_catalog():
-            assert row["stage"] in ("ir", "lower", "gates")
+            assert row["stage"] in ("analyze", "ir", "lower", "gates")
             assert row["description"], row["name"]
             assert SEMANTICS_PRESERVING in row["invariants"], row["name"]
 
