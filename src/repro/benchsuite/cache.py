@@ -54,8 +54,29 @@ outcomes, counted separately in :meth:`ArtifactCache.stats`:
   transient filesystem fault); the point recomputes, but the error is
   never conflated with a plain miss.
 
-:meth:`ArtifactCache.prune` adds size-bounded eviction (oldest entries
-first, by mtime) behind ``repro cache prune --max-bytes``.
+:meth:`ArtifactCache.prune` adds size-bounded eviction (**least
+recently used** entries first, by mtime) behind ``repro cache prune
+--max-bytes``: cache *hits* refresh an entry's mtime, so a long-running
+process — the ``repro serve`` compilation service in particular — keeps
+its hot entries and evicts the cold ones, not the oldest-written ones.
+
+**Crash hygiene.**  Writes stage through ``.tmp-*`` files before the
+atomic :func:`os.replace`; a process killed between the two (the
+``crash:cache.store_point`` chaos path) strands the temp file.  Stale
+temp files are counted by :meth:`ArtifactCache.usage` and swept by
+:meth:`ArtifactCache.prune` / :meth:`ArtifactCache.clear` (and on
+demand via :meth:`ArtifactCache.sweep_tmp`); only files older than
+:data:`TMP_SWEEP_AGE` are swept, so a concurrent writer's in-progress
+staging file is never yanked out from under it.
+
+**Concurrency.**  One :class:`ArtifactCache` instance may serve many
+threads (the compile service shares one across all clients): the
+hit/miss/corrupt counters are updated under a lock.  Worker *processes*
+each hold their own instance; :meth:`ArtifactCache.publish_stats`
+persists a worker's counters under ``<root>/stats/`` and
+:meth:`ArtifactCache.aggregated_stats` sums every publisher, so a
+service endpoint can report fleet-wide hit rates instead of only the
+parent's.
 """
 
 from __future__ import annotations
@@ -64,6 +85,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
+import uuid
 from dataclasses import asdict
 from functools import lru_cache
 from pathlib import Path
@@ -79,6 +103,24 @@ from ..passes.pipeline import canonical_pipeline
 POINT_FILE = "point.json"
 CIRCUIT_FILE = "circuit.rqcs"
 QUARANTINE_DIR = "quarantine"
+STATS_DIR = "stats"
+JOURNAL_DIR = "journal"
+
+#: staging-file prefix of :meth:`ArtifactCache._atomic_write`
+TMP_PREFIX = ".tmp-"
+
+#: minimum age (seconds) before a stranded staging file is swept; a
+#: healthy write holds its temp file for well under a second, so
+#: anything this old belongs to a crashed writer
+TMP_SWEEP_AGE = 60.0
+
+#: root-level directories that are not two-char key fanouts
+_META_DIRS = (QUARANTINE_DIR, STATS_DIR, JOURNAL_DIR)
+
+#: the session counters shared by :meth:`ArtifactCache.stats`,
+#: :meth:`ArtifactCache.publish_stats` and
+#: :meth:`ArtifactCache.aggregated_stats`
+_COUNTER_KEYS = ("hits", "misses", "corrupt", "io_errors", "quarantined")
 
 #: version of the point.json checksum envelope
 POINT_FORMAT = 2
@@ -189,6 +231,18 @@ class ArtifactCache:
         self.io_errors = 0
         #: files successfully moved to ``<root>/quarantine/``
         self.quarantined = 0
+        #: guards the counters above — one instance may serve many threads
+        self._counter_lock = threading.Lock()
+        #: identity of this instance's published stats file (pid + nonce:
+        #: pids are recycled, and one process may hold several instances)
+        self._stats_token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        """Atomically bump a session counter (plain ``+=`` is a
+        read-modify-write race once concurrent requests share one
+        instance)."""
+        with self._counter_lock:
+            setattr(self, name, getattr(self, name) + delta)
 
     # ------------------------------------------------------------------ keys
     def key(self, **kwargs: Any) -> str:
@@ -212,17 +266,18 @@ class ArtifactCache:
             inject.fire("cache.load_point", key=key)
             data = path.read_bytes()
         except _MISS_ERRORS:
-            self.misses += 1
+            self._count("misses")
             return None
         except OSError:
-            self.io_errors += 1
+            self._count("io_errors")
             return None
         row = self._verify_point(data)
         if row is None:
-            self.corrupt += 1
+            self._count("corrupt")
             self._quarantine(path, key)
             return None
-        self.hits += 1
+        self._count("hits")
+        self._touch(path)
         return row
 
     @staticmethod
@@ -246,7 +301,10 @@ class ArtifactCache:
         envelope = {"format": POINT_FORMAT, "sha256": row_checksum(row), "row": row}
         data = (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
         data = inject.mangle("cache.store_point", key, data)
-        self._atomic_write(self._entry_dir(key) / POINT_FILE, data)
+        self._atomic_write(
+            self._entry_dir(key) / POINT_FILE, data,
+            site="cache.store_point", key=key,
+        )
 
     # -------------------------------------------------------------- circuits
     def load_circuit(self, key: str) -> Optional[Circuit]:
@@ -264,14 +322,28 @@ class ArtifactCache:
         except _MISS_ERRORS:
             return None
         except OSError:
-            self.io_errors += 1
+            self._count("io_errors")
             return None
         circuit = self._verify_circuit(data)
         if circuit is None:
-            self.corrupt += 1
+            self._count("corrupt")
             self._quarantine(path, key)
             return None
+        self._touch(path)
         return circuit
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an artifact's mtime on a cache hit (best-effort).
+
+        :meth:`prune` evicts by mtime; without the refresh, "LRU"
+        eviction is actually FIFO — a long-running server would evict
+        its hottest entries first because they were *written* first.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     @staticmethod
     def _verify_circuit(data: bytes) -> Optional[Circuit]:
@@ -292,7 +364,10 @@ class ArtifactCache:
         payload = snapshot.dump_bytes(circuit)
         data = CIRCUIT_MAGIC + hashlib.sha256(payload).digest() + payload
         data = inject.mangle("cache.store_circuit", key, data)
-        self._atomic_write(self._entry_dir(key) / CIRCUIT_FILE, data)
+        self._atomic_write(
+            self._entry_dir(key) / CIRCUIT_FILE, data,
+            site="cache.store_circuit", key=key,
+        )
 
     # ------------------------------------------------------------ quarantine
     def _quarantine(self, path: Path, key: str) -> None:
@@ -301,7 +376,7 @@ class ArtifactCache:
         try:
             dest_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, dest_dir / f"{key}.{path.name}")
-            self.quarantined += 1
+            self._count("quarantined")
         except OSError:
             # quarantine is best-effort; removing the entry is what
             # guarantees it is never served again
@@ -318,12 +393,19 @@ class ArtifactCache:
         return sorted(p for p in dest.iterdir() if p.is_file())
 
     # ------------------------------------------------------------- internals
-    def _atomic_write(self, path: Path, data: bytes) -> None:
+    def _atomic_write(
+        self, path: Path, data: bytes, site: str = "", key: str = ""
+    ) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=TMP_PREFIX)
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+            if site:
+                # the chaos window between mkstemp and os.replace: a
+                # ``crash`` fault here kills a worker with the staged
+                # temp file on disk (the sweep-tmp path's raison d'être)
+                inject.fire(site, key=key)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -340,8 +422,55 @@ class ArtifactCache:
         return [
             entry
             for entry in self.root.glob("*/*")
-            if entry.is_dir() and entry.parent.name != QUARANTINE_DIR
+            if entry.is_dir() and entry.parent.name not in _META_DIRS
         ]
+
+    @staticmethod
+    def _is_tmp(path: Path) -> bool:
+        """Whether a file is an in-flight (or stranded) staging file."""
+        return path.name.startswith(TMP_PREFIX)
+
+    def tmp_files(self) -> List[Path]:
+        """Every ``.tmp-*`` staging file under the cache root.
+
+        A healthy write holds one for under a millisecond; anything that
+        accumulates here belongs to writers that crashed between
+        ``mkstemp`` and ``os.replace``.
+        """
+        if not self.root.exists():
+            return []
+        return sorted(
+            p for p in self.root.rglob(f"{TMP_PREFIX}*") if p.is_file()
+        )
+
+    def sweep_tmp(self, max_age: Optional[float] = None) -> int:
+        """Remove staging files older than ``max_age`` seconds.
+
+        Defaults to :data:`TMP_SWEEP_AGE` so a concurrent writer's live
+        temp file survives; ``0.0`` sweeps unconditionally (used by
+        :meth:`clear`).  Entry directories left empty by the sweep are
+        removed.  Returns the number of files swept.
+        """
+        age = TMP_SWEEP_AGE if max_age is None else max_age
+        cutoff = time.time() - age
+        swept = 0
+        for tmp in self.tmp_files():
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                continue
+            parent = tmp.parent
+            if parent.parent.parent == self.root:  # an entry directory
+                try:
+                    parent.rmdir()  # fails (correctly) unless empty
+                except OSError:
+                    pass
+        if swept:
+            self._prune_fanout_dirs()
+        return swept
 
     def __len__(self) -> int:
         """Number of stored grid points."""
@@ -370,7 +499,7 @@ class ArtifactCache:
         if not self.root.exists():
             return
         for fanout in self.root.iterdir():
-            if not fanout.is_dir() or fanout.name == QUARANTINE_DIR:
+            if not fanout.is_dir() or fanout.name in _META_DIRS:
                 continue
             try:
                 fanout.rmdir()  # fails (correctly) unless empty
@@ -398,17 +527,41 @@ class ArtifactCache:
             (self.root / QUARANTINE_DIR).rmdir()
         except OSError:
             pass
+        self._clear_stats_dir()
+        self.sweep_tmp(max_age=0.0)
         self._prune_fanout_dirs()
         return removed
 
+    def _clear_stats_dir(self) -> None:
+        """Drop every published per-process stats file."""
+        stats_dir = self.root / STATS_DIR
+        if not stats_dir.is_dir():
+            return
+        for item in list(stats_dir.iterdir()):
+            try:
+                item.unlink()
+            except OSError:
+                pass
+        try:
+            stats_dir.rmdir()
+        except OSError:
+            pass
+
     # -------------------------------------------------------------- eviction
     def usage(self) -> Dict[str, int]:
-        """On-disk footprint: entry/byte counts plus the quarantine's."""
+        """On-disk footprint: entries, quarantine, and stranded temp files.
+
+        Staging files are counted apart from artifact bytes — they are
+        dead weight from crashed writers (swept by :meth:`prune` /
+        :meth:`clear`), not servable entries.
+        """
         entries = 0
         size = 0
         for entry in self._entries():
             entries += 1
             for item in entry.iterdir():
+                if self._is_tmp(item):
+                    continue
                 try:
                     size += item.stat().st_size
                 except OSError:
@@ -420,25 +573,43 @@ class ArtifactCache:
                 q_bytes += item.stat().st_size
             except OSError:
                 pass
+        tmp = self.tmp_files()
+        t_bytes = 0
+        for item in tmp:
+            try:
+                t_bytes += item.stat().st_size
+            except OSError:
+                pass
         return {
             "entries": entries,
             "bytes": size,
             "quarantine_entries": len(quarantine),
             "quarantine_bytes": q_bytes,
+            "tmp_files": len(tmp),
+            "tmp_bytes": t_bytes,
         }
 
     def prune(self, max_bytes: int) -> Dict[str, int]:
-        """Evict oldest entries (by mtime) until the cache fits ``max_bytes``.
+        """Evict least-recently-*used* entries until the cache fits
+        ``max_bytes``.
 
-        Whole entries are evicted (a point and its circuit snapshot live
-        or die together).  Returns removed/remaining entry and byte
-        counts; fanout directories emptied by eviction are pruned.
+        Eviction order is by mtime, which cache hits refresh (see
+        :meth:`_touch`) — so the entries evicted first are the ones
+        nobody has read in the longest time, not merely the ones written
+        first.  Whole entries are evicted (a point and its circuit
+        snapshot live or die together).  Stale staging files from
+        crashed writers are swept first and never count toward an
+        entry's size or recency.  Returns removed/remaining entry and
+        byte counts plus the staging-file sweep count.
         """
+        swept = self.sweep_tmp()
         sized: List[Tuple[float, int, Path]] = []
         for entry in self._entries():
             size = 0
             mtime = 0.0
             for item in entry.iterdir():
+                if self._is_tmp(item):
+                    continue
                 try:
                     stat = item.stat()
                 except OSError:
@@ -460,6 +631,7 @@ class ArtifactCache:
             "removed_bytes": removed_bytes,
             "remaining_entries": len(sized) - removed_entries,
             "remaining_bytes": total - removed_bytes,
+            "swept_tmp_files": swept,
         }
 
     def stats(self) -> Dict[str, int]:
@@ -479,6 +651,59 @@ class ArtifactCache:
             "quarantined": self.quarantined,
             "entries": len(self),
         }
+
+    # ---------------------------------------------- cross-process stats
+    def publish_stats(self) -> None:
+        """Persist this instance's counters under ``<root>/stats/``.
+
+        Grid workers call this after each task, so the parent's
+        :meth:`aggregated_stats` (the ``/cache/stats`` endpoint) sees
+        fleet-wide hit rates instead of only its own counters.  Each
+        (process, instance) pair owns one file — cumulative counts,
+        atomically replaced — so republishing never double-counts.
+        """
+        with self._counter_lock:
+            payload: Dict[str, Any] = {
+                key: getattr(self, key) for key in _COUNTER_KEYS
+            }
+        payload["pid"] = os.getpid()
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        try:
+            self._atomic_write(
+                self.root / STATS_DIR / f"{self._stats_token}.json", data
+            )
+        except OSError:
+            pass  # stats are advisory; never fail a task over them
+
+    def aggregated_stats(self) -> Dict[str, int]:
+        """Session counters summed across every publishing process.
+
+        This instance's live (in-memory) counters plus every *other*
+        published stats file under ``<root>/stats/`` — its own file is
+        skipped so publishing locally never double-counts.
+        """
+        totals = {key: getattr(self, key) for key in _COUNTER_KEYS}
+        own = f"{self._stats_token}.json"
+        publishers = 0
+        stats_dir = self.root / STATS_DIR
+        if stats_dir.is_dir():
+            for item in stats_dir.glob("*.json"):
+                if item.name == own:
+                    continue
+                try:
+                    payload = json.loads(item.read_text())
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if not isinstance(payload, dict):
+                    continue
+                publishers += 1
+                for key in _COUNTER_KEYS:
+                    value = payload.get(key, 0)
+                    if isinstance(value, int):
+                        totals[key] += value
+        totals["entries"] = len(self)
+        totals["publishers"] = publishers
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

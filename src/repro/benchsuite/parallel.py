@@ -139,6 +139,32 @@ def optimizer_tasks(
     ]
 
 
+#: row keys that legitimately differ between two runs of the same grid
+#: (timings, cache/journal provenance, retry counts) — everything else is
+#: covered by the bit-identity contract that ``--check-against`` and the
+#: loadgen serial baseline enforce
+VOLATILE_ROW_KEYS = frozenset(
+    [
+        "wall_seconds",
+        "compile_seconds",
+        "seconds",
+        "timings",
+        "cached",
+        "prefix_cached",
+        "journal_resumed",
+        "attempts",
+    ]
+)
+
+
+def stable_rows(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Rows minus the volatile keys, for cross-run bit-identity checks."""
+    return [
+        {k: v for k, v in row.items() if k not in VOLATILE_ROW_KEYS}
+        for row in rows
+    ]
+
+
 class GridResult:
     """Measurement rows of a grid sweep, indexed for table/figure assembly.
 
@@ -433,12 +459,19 @@ class ParallelBackend(ExecutionBackend):
         jobs: Optional[int] = None,
         cache: Union[ArtifactCache, str, os.PathLike, None] = None,
         policy: Optional[RetryPolicy] = None,
+        extra_sources: Optional[Dict[str, Tuple[str, str]]] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
         self.policy = policy or RetryPolicy()
+        #: name -> (source, entry) registrations replayed in every worker
+        #: (mutable: the serve layer adds inline-source programs over time,
+        #: and each wave's pool picks up whatever is registered by then)
+        self.extra_sources: Dict[str, Tuple[str, str]] = dict(
+            extra_sources or {}
+        )
 
     def run(self, runner, tasks, progress=None, on_row=None):
         cache = self.cache if self.cache is not None else runner.cache
@@ -542,7 +575,12 @@ class ParallelBackend(ExecutionBackend):
             pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(config_kwargs, cache_root, list(sys.path)),
+                initargs=(
+                    config_kwargs,
+                    cache_root,
+                    list(sys.path),
+                    dict(self.extra_sources),
+                ),
             )
 
         def recover_pool(extra: Optional[List[_Attempt]] = None) -> bool:
@@ -715,22 +753,54 @@ def _init_worker(
     config_kwargs: Dict[str, Any],
     cache_root: Optional[str],
     parent_path: List[str],
+    extra_sources: Optional[Dict[str, Tuple[str, str]]] = None,
 ) -> None:
     """Build the worker's long-lived runner (start methods: fork or spawn)."""
+    import signal
+
+    # A forked worker inherits the parent's signal disposition — under
+    # ``repro serve`` that includes asyncio's wakeup-fd handler, whose
+    # pipe is shared with the parent after fork.  Left in place, the
+    # SIGTERM of a routine pool teardown would be written into the
+    # parent's wakeup pipe and trigger the *server's* shutdown handler
+    # (and the worker itself would never die, since the handler eats the
+    # signal).  Workers take the default dispositions instead.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
     for entry in reversed(parent_path):
         if entry not in sys.path:
             sys.path.insert(0, entry)
-    from .runner import BenchmarkRunner  # after sys.path fix-up
+    from .programs import register_source  # after sys.path fix-up
+    from .runner import BenchmarkRunner
 
     global _WORKER_RUNNER
     inject.mark_worker()
     inject.fire("pool.spawn", key=str(os.getpid()))
+    # ad-hoc programs (``repro serve``'s inline-source compiles) are not
+    # in the static registry; replay the parent's registrations so the
+    # worker resolves them by name even under the spawn start method
+    for name, (source, entry_fn) in (extra_sources or {}).items():
+        register_source(name, source, entry_fn)
     cache = ArtifactCache(cache_root) if cache_root else None
     _WORKER_RUNNER = BenchmarkRunner(CompilerConfig(**config_kwargs), cache=cache)
 
 
 def _run_worker_task(task: GridTask, attempt: int = 0) -> Dict[str, Any]:
-    return execute_task(_WORKER_RUNNER, task, attempt=attempt)
+    try:
+        return execute_task(_WORKER_RUNNER, task, attempt=attempt)
+    finally:
+        # publish this worker's cache counters so the parent (and the
+        # serve endpoint ``/cache/stats``) can aggregate fleet-wide hit
+        # rates; failures count too, hence the ``finally``
+        if _WORKER_RUNNER is not None and _WORKER_RUNNER.cache is not None:
+            _WORKER_RUNNER.cache.publish_stats()
 
 
 def make_backend(

@@ -553,5 +553,31 @@ def get_entry(name: str) -> str:
         return "main"
     raise KeyError(f"unknown benchmark {name!r}")
 
+
+def register_source(
+    name: str, source: str, entry: str = "main", unsized: bool = False
+) -> None:
+    """Register an ad-hoc program under a benchmark name.
+
+    The compile service uses this for inline-source requests: the source
+    is registered under a content-derived ``src:<sha>`` name so it flows
+    through the same :func:`get_source`-keyed machinery (grid tasks,
+    artifact cache, worker pools) as the static benchmarks.  Re-registering
+    the same (name, source, entry) is a no-op; rebinding a name to
+    different content is an error — names are content addresses.
+    """
+    if is_fuzz_name(name):
+        raise ValueError(f"cannot register under a fuzz name: {name!r}")
+    if name in SOURCES:
+        if SOURCES[name] != source or ENTRIES[name] != entry:
+            raise ValueError(
+                f"benchmark name {name!r} is already bound to different content"
+            )
+        return
+    SOURCES[name] = source
+    ENTRIES[name] = entry
+    if unsized and name not in UNSIZED:
+        UNSIZED.append(name)
+
 #: Benchmarks measured in tree depth d (the set) rather than length n.
 TREE_BENCHMARKS: List[str] = ["insert", "contains"]

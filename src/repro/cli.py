@@ -285,29 +285,9 @@ def _parse_depths(spec: str) -> list:
     return [int(part) for part in spec.split(",") if part]
 
 
-#: row keys that legitimately differ between two runs of the same grid
-#: (timings, cache/journal provenance, retry counts) — everything else is
-#: covered by the bit-identity contract that --check-against enforces
-VOLATILE_ROW_KEYS = frozenset(
-    [
-        "wall_seconds",
-        "compile_seconds",
-        "seconds",
-        "timings",
-        "cached",
-        "prefix_cached",
-        "journal_resumed",
-        "attempts",
-    ]
-)
-
-
-def _stable_rows(rows):
-    """Rows minus the volatile keys, for cross-run bit-identity checks."""
-    return [
-        {k: v for k, v in row.items() if k not in VOLATILE_ROW_KEYS}
-        for row in rows
-    ]
+# re-exported for backward compatibility; the canonical definitions live
+# next to the grid result types in benchsuite.parallel
+from .benchsuite.parallel import VOLATILE_ROW_KEYS, stable_rows as _stable_rows  # noqa: E402
 
 
 def cmd_bench(args) -> int:
@@ -794,6 +774,53 @@ def cmd_resources(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .benchsuite import RetryPolicy
+    from .serve import serve_main
+
+    policy = RetryPolicy(retries=args.retries, task_timeout=args.task_timeout)
+    return serve_main(
+        config=_config(args),
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        policy=policy,
+        batch_window=args.batch_window,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from .serve import run_loadgen
+
+    depths = _parse_depths(args.depths) if args.depths else [1, 2]
+    if not depths:
+        print("error: empty depth range (use e.g. 1..2 or 1,2)",
+              file=sys.stderr)
+        return 2
+    report = run_loadgen(
+        args.host,
+        args.port,
+        config=_config(args),
+        depths=depths,
+        fuzz_count=args.fuzz_count,
+        clients=args.clients,
+        duplicates=args.duplicates,
+        seed=args.seed,
+        hit_rate_floor=args.hit_rate_floor,
+        check_serial=args.check_serial,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    if not report["ok"]:
+        for problem in report["problems"]:
+            print(f"loadgen violation: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1016,6 +1043,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-program progress output")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="compilation-as-a-service: a long-running HTTP/JSON server "
+             "over the shared artifact cache",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8351,
+                         help="TCP port (0 picks a free one; default 8351)")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for batched compiles")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="shared artifact cache directory (enables warm "
+                              "replays and the request journal)")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="prune the cache to this size (LRU) after "
+                              "every batch")
+    p_serve.add_argument("--batch-window", type=float, default=0.02,
+                         metavar="SECONDS",
+                         help="micro-batch accumulation window "
+                              "(default: 0.02)")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="retry budget per task (default: 2)")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-task wall-clock timeout")
+    p_serve.add_argument("--word-width", type=int, default=3)
+    p_serve.add_argument("--addr-width", type=int, default=3)
+    p_serve.add_argument("--heap-cells", type=int, default=6)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay mixed benchmark/fuzz traffic against a running "
+             "`repro serve` and verify the service contract",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True,
+                        help="port of the running server")
+    p_load.add_argument("--clients", type=int, default=8,
+                        help="concurrent persistent connections (default: 8)")
+    p_load.add_argument("--duplicates", type=int, default=2,
+                        help="copies of each distinct request in the cold "
+                             "phase (the single-flight race; default: 2)")
+    p_load.add_argument("--fuzz-count", type=int, default=25,
+                        help="generated fuzz programs in the mix "
+                             "(default: 25)")
+    p_load.add_argument("--depths", default=None,
+                        help="smoke-grid depth range, e.g. 1..2 or 1,2 "
+                             "(default: 1..2)")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="seed of the deterministic request shuffle")
+    p_load.add_argument("--hit-rate-floor", type=float, default=0.9,
+                        help="minimum warm-phase hit rate (default: 0.9)")
+    p_load.add_argument("--no-check-serial", dest="check_serial",
+                        action="store_false",
+                        help="skip the serial no-server bit-identity "
+                             "baseline (faster)")
+    p_load.add_argument("--word-width", type=int, default=3)
+    p_load.add_argument("--addr-width", type=int, default=3)
+    p_load.add_argument("--heap-cells", type=int, default=6)
+    p_load.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -126,6 +126,52 @@ def test_repeated_pool_deaths_degrade_to_serial(tmp_path, clean_rows):
     assert stable(result.rows) == clean_rows
 
 
+# ------------------------------------------------- stranded staging files
+@pytest.mark.slow
+def test_worker_crash_mid_store_strands_then_sweeps_tmp(tmp_path):
+    """A worker dying between ``mkstemp`` and ``os.replace`` (the
+    ``cache.store_point`` chaos window) strands its ``.tmp-*`` staging
+    file: ``os._exit`` skips the unlink that covers parent-side failures.
+    The sweep must still finish with correct rows, ``usage()`` must
+    account for the dead bytes, and the sweep path must reclaim them.
+
+    The plan is fully deterministic: ``p=1.0`` crashes every worker that
+    reaches the window (``n=1`` caps it at once per process), so the
+    sweep degrades pool → pool → serial; the parent's own fire raises
+    (and cleans up) instead of exiting, and its retry lands the row.
+    """
+    tasks = measure_tasks("length", [2])
+    inject.install(parse_fault_plan("crash:cache.store_point:p=1.0:n=1", seed=0))
+    try:
+        policy = RetryPolicy(
+            retries=4, backoff_base=0.001, max_pool_deaths=2, seed=0
+        )
+        cache = ArtifactCache(tmp_path)
+        backend = ParallelBackend(jobs=2, cache=cache, policy=policy)
+        result = BenchmarkRunner(TINY, backend=backend).run_grid(tasks)
+    finally:
+        inject.uninstall()
+    assert not result.failed_rows
+    assert stable(result.rows) == stable(
+        BenchmarkRunner(TINY).run_grid(tasks).rows
+    )
+
+    # the two worker deaths each stranded one temp file
+    usage = cache.usage()
+    assert usage["tmp_files"] >= 1
+    assert usage["tmp_bytes"] > 0
+    assert cache.sweep_tmp(max_age=0.0) == usage["tmp_files"]
+    after = cache.usage()
+    assert after["tmp_files"] == 0 and after["tmp_bytes"] == 0
+
+    # the swept cache still serves a warm, bit-identical run
+    warm = BenchmarkRunner(
+        TINY, backend=CachedBackend(cache, SerialBackend(RetryPolicy()))
+    ).run_grid(tasks)
+    assert not warm.failed_rows
+    assert stable(warm.rows) == stable(result.rows)
+
+
 # ------------------------------------------------------------ failure rows
 def test_exhausted_task_becomes_failure_row_not_abort(tmp_path):
     # worker.execute crashes on every attempt for every key: each task

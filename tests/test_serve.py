@@ -1,0 +1,390 @@
+"""Contract tests for ``repro serve`` (the compilation service).
+
+The server runs in-process (port 0, loopback) and is driven through the
+real HTTP framing with the package's own :class:`~repro.serve.http.Client`
+— the same stack ``repro loadgen`` uses.  The suite pins:
+
+* the status contract: 200 clean / 422 program at fault / 400 request at
+  fault / 404 / 405 / protocol-level 400;
+* single-flight dedupe: N concurrent identical requests compile exactly
+  once (monkeypatch-counted at ``compile_program``, and cross-checked
+  against the server's own ``max_compiles_per_key`` gauge);
+* bit-identical rows versus a clean serial no-server run;
+* journal durability: a restarted server answers repeats from the
+  journal without recompiling;
+* the ``/metrics`` and ``/cache/stats`` payload shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.benchsuite import ArtifactCache
+from repro.benchsuite.parallel import (
+    MEASURE,
+    GridTask,
+    SerialBackend,
+    stable_rows,
+)
+from repro.benchsuite.runner import BenchmarkRunner
+from repro.config import TINY
+from repro.fuzz.generator import fuzz_name
+from repro.serve import Client, ReproServer, SingleFlight, inline_name
+from repro.serve.loadgen import (
+    INLINE_OK,
+    INLINE_PARSE_ERROR,
+    INLINE_TYPE_ERROR,
+    build_traffic,
+)
+from repro.serve.metrics import Metrics, quantile
+
+
+def _server(tmp_path=None, **kwargs) -> ReproServer:
+    cache = ArtifactCache(tmp_path / "cache") if tmp_path else None
+    return ReproServer(config=TINY, cache=cache, port=0, **kwargs)
+
+
+# ------------------------------------------------------------ status contract
+def test_status_contract(tmp_path):
+    async def main() -> None:
+        async with _server(tmp_path) as server:
+            async with Client(server.host, server.port) as client:
+                status, body = await client.get("/healthz")
+                assert (status, body) == (200, {"ok": True})
+
+                status, body = await client.post(
+                    "/lint", {"source": INLINE_OK}
+                )
+                assert status == 200 and body["exit_code"] == 0
+
+                status, body = await client.post(
+                    "/lint", {"source": INLINE_PARSE_ERROR}
+                )
+                assert status == 422 and body["exit_code"] == 1
+                assert any(
+                    d["code"] == "RPA001" for d in body["diagnostics"]
+                )
+
+                status, body = await client.post(
+                    "/compile", {"source": INLINE_TYPE_ERROR}
+                )
+                assert status == 422 and body["admitted"] is False
+                assert any(
+                    d["code"] == "RPA002" for d in body["diagnostics"]
+                )
+
+                # request at fault: missing field, bad type, unknown name
+                status, body = await client.post("/compile", {})
+                assert status == 400 and "source" in body["error"]
+                status, body = await client.post(
+                    "/measure", {"name": "no-such-benchmark"}
+                )
+                assert status == 400 and "unknown benchmark" in body["error"]
+                status, body = await client.post(
+                    "/measure", {"name": 7}
+                )
+                assert status == 400
+                status, body = await client.post(
+                    "/measure",
+                    {"name": "length", "optimizer": "definitely-not-real"},
+                )
+                assert status == 400 and "unknown optimizer" in body["error"]
+                status, body = await client.request(
+                    "POST", "/measure", payload=None
+                )
+                assert status == 400  # empty body: 'name' missing
+
+                status, _ = await client.get("/no/such/endpoint")
+                assert status == 404
+                status, _ = await client.get("/compile")
+                assert status == 405
+
+    asyncio.run(main())
+
+
+def test_malformed_frame_closes_with_400(tmp_path):
+    async def main() -> None:
+        async with _server(tmp_path) as server:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"this is not http\r\n\r\n")
+            await writer.drain()
+            status_line = await reader.readuntil(b"\r\n")
+            assert b" 400 " in status_line
+            # framing is unrecoverable: the server closes the connection
+            rest = await reader.read()
+            assert b"malformed request line" in rest
+            writer.close()
+            await writer.wait_closed()
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------- execution round trip
+def test_compile_roundtrip_and_repeat_replay(tmp_path):
+    async def main() -> None:
+        async with _server(tmp_path) as server:
+            async with Client(server.host, server.port) as client:
+                status, body = await client.post(
+                    "/compile", {"source": INLINE_OK}
+                )
+                assert status == 200
+                row = body["row"]
+                assert body["entry"] == "main"
+                assert body["name"] == inline_name(INLINE_OK, "main")
+                assert row["t"] >= 0 and not row.get("failed")
+
+                # the same request again: answered from the completed map,
+                # flagged as a replay, bit-identical
+                status, again = await client.post(
+                    "/compile", {"source": INLINE_OK}
+                )
+                assert status == 200
+                assert again["row"]["journal_resumed"] is True
+                assert stable_rows([again["row"]]) == stable_rows([row])
+
+                status, metrics = await client.get("/metrics")
+                assert metrics["counters"]["journal_replays"] == 1
+
+    asyncio.run(main())
+
+
+def test_journal_survives_restart(tmp_path):
+    """A restarted server (same cache root) must not recompile."""
+    payload = {"name": fuzz_name(7, 0), "optimization": "none"}
+
+    async def first() -> Dict[str, Any]:
+        async with _server(tmp_path) as server:
+            async with Client(server.host, server.port) as client:
+                status, body = await client.post("/measure", payload)
+                assert status == 200
+                return body["row"]
+
+    async def second() -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        async with _server(tmp_path) as server:
+            async with Client(server.host, server.port) as client:
+                status, body = await client.post("/measure", payload)
+                assert status == 200
+                _, metrics = await client.get("/metrics")
+                return body["row"], metrics
+
+    row = asyncio.run(first())
+    journal = tmp_path / "cache" / "journal" / "serve.jsonl"
+    assert journal.exists() and journal.read_text().strip()
+
+    replayed, metrics = asyncio.run(second())
+    assert replayed["journal_resumed"] is True
+    assert stable_rows([replayed]) == stable_rows([row])
+    assert metrics["counters"].get("compile_executions") is None
+    assert metrics["counters"]["journal_replays"] == 1
+
+    asyncio.run(first())  # and the journal is still intact afterwards
+
+
+# ------------------------------------------------------- single-flight dedupe
+def test_concurrent_identical_requests_compile_once(tmp_path, monkeypatch):
+    """8 clients x 3 distinct keys, all in flight together: each key
+    compiles exactly once.  Counted two ways — a monkeypatch tap on
+    ``compile_program`` (ground truth) and the server's own
+    ``max_compiles_per_key`` gauge (what the loadgen asserts)."""
+    import repro.benchsuite.runner as runner_mod
+
+    compiles: List[str] = []
+    real_compile = runner_mod.compile_program
+
+    def counting_compile(program, entry, **kwargs):
+        compiles.append(entry)
+        return real_compile(program, entry, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "compile_program", counting_compile)
+
+    names = [fuzz_name(11, index) for index in range(3)]
+
+    async def main() -> None:
+        # a longer batch window guarantees the duplicates are admitted
+        # while the leader is still queued — the race the dedupe exists for
+        async with _server(tmp_path, batch_window=0.1) as server:
+            clients = [Client(server.host, server.port) for _ in range(8)]
+
+            async def post(client: Client, name: str):
+                return await client.post(
+                    "/measure", {"name": name, "optimization": "none"}
+                )
+
+            try:
+                results = await asyncio.gather(
+                    *[
+                        post(client, names[index % len(names)])
+                        for index, client in enumerate(clients)
+                    ]
+                )
+                rows = []
+                for status, body in results:
+                    assert status == 200
+                    assert not body["row"].get("failed")
+                    rows.append(body["row"])
+                async with Client(server.host, server.port) as probe:
+                    _, metrics = await probe.get("/metrics")
+            finally:
+                for client in clients:
+                    await client.close()
+
+        gauges = metrics["gauges"]
+        assert gauges["max_compiles_per_key"] == 1
+        assert gauges["distinct_keys"] == len(names)
+        assert metrics["counters"]["dedupe_hits"] == 8 - len(names)
+        # coalesced requests share the leader's row, bit for bit
+        by_name: Dict[str, List[Dict[str, Any]]] = {}
+        for row in rows:
+            by_name.setdefault(row["name"], []).append(row)
+        for group in by_name.values():
+            first = stable_rows([group[0]])
+            for row in group[1:]:
+                assert stable_rows([row]) == first
+
+    asyncio.run(main())
+    assert len(compiles) == len(names)
+
+
+def test_single_flight_unit():
+    async def main() -> None:
+        flight = SingleFlight()
+        leader, future = flight.admit("k")
+        assert leader and len(flight) == 1
+        follower, same = flight.admit("k")
+        assert not follower and same is future
+        flight.resolve("k", {"t": 1})
+        assert await future == {"t": 1}
+        assert len(flight) == 0 and flight.coalesced == 1
+
+        # after resolution the key opens a fresh flight
+        leader, future = flight.admit("k")
+        assert leader
+        flight.reject("k", RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            await future
+
+    asyncio.run(main())
+
+
+# -------------------------------------------------------- serial bit-identity
+def test_rows_match_serial_no_server_baseline(tmp_path):
+    """Rows served over HTTP (cache + journal + batching in play) must be
+    bit-identical, modulo volatile keys, to a fresh serial run."""
+    names = [fuzz_name(23, 0), fuzz_name(23, 1)]
+    tasks = [GridTask(MEASURE, name, None, "none") for name in names]
+
+    async def served() -> List[Dict[str, Any]]:
+        async with _server(tmp_path) as server:
+            rows = []
+            async with Client(server.host, server.port) as client:
+                for name in names:
+                    status, body = await client.post(
+                        "/measure", {"name": name, "optimization": "none"}
+                    )
+                    assert status == 200
+                    rows.append(body["row"])
+            return rows
+
+    via_server = asyncio.run(served())
+    baseline = SerialBackend().run(BenchmarkRunner(TINY), tasks)
+    assert stable_rows(via_server) == stable_rows(baseline)
+
+
+# ----------------------------------------------------------- metrics & stats
+def test_metrics_and_cache_stats_shape(tmp_path):
+    async def main() -> None:
+        async with _server(tmp_path) as server:
+            async with Client(server.host, server.port) as client:
+                for _ in range(3):
+                    await client.post("/lint", {"source": INLINE_OK})
+                await client.post("/compile", {"source": INLINE_OK})
+                await client.post("/compile", {"source": INLINE_PARSE_ERROR})
+
+                _, metrics = await client.get("/metrics")
+                lint = metrics["endpoints"]["lint"]
+                assert lint["requests"] == 3 and lint["errors"] == 0
+                for key in ("p50_seconds", "p99_seconds", "max_seconds"):
+                    assert lint[key] >= 0.0
+                compile_stats = metrics["endpoints"]["compile"]
+                assert compile_stats["requests"] == 2
+                assert compile_stats["errors"] == 1  # the 422
+                assert metrics["counters"]["admission_rejects"] == 1
+                gauges = metrics["gauges"]
+                assert gauges["queue_depth"] == 0
+                assert gauges["inflight_keys"] == 0
+                assert gauges["completed_keys"] == 1
+
+                _, stats = await client.get("/cache/stats")
+                assert stats["cache"] == str(tmp_path / "cache")
+                assert stats["usage"]["entries"] >= 1
+                assert stats["usage"]["tmp_files"] == 0
+                assert set(stats["stats"]) >= {"hits", "misses"}
+
+    asyncio.run(main())
+
+
+def test_quantiles_nearest_rank():
+    samples = [float(value) for value in range(1, 102)]  # 1..101
+    assert quantile(samples, 0.5) == 51.0  # the true median
+    assert quantile(samples, 0.99) == 100.0
+    assert quantile(samples, 1.0) == 101.0
+    assert quantile(samples, 0.0) == 1.0
+    assert quantile([3.0], 0.99) == 3.0
+    assert quantile([], 0.5) is None
+
+    metrics = Metrics()
+    metrics.observe("x", 0.25, 200)
+    metrics.observe("x", 0.75, 500)
+    snap = metrics.snapshot()["endpoints"]["x"]
+    assert snap["requests"] == 2 and snap["errors"] == 1
+    assert snap["max_seconds"] == 0.75
+
+
+# ------------------------------------------------------------------ lifecycle
+def test_shutdown_endpoint_drains_and_refuses_new_connections(tmp_path):
+    async def main() -> None:
+        server = _server(tmp_path)
+        await server.start()
+        try:
+            async with Client(server.host, server.port) as client:
+                status, body = await client.post("/compile", {"source": INLINE_OK})
+                assert status == 200
+                status, body = await client.post("/shutdown", {})
+                assert status == 200 and body["shutting_down"] is True
+            async with Client(server.host, server.port) as late:
+                status, body = await late.get("/healthz")
+                assert status == 503
+        finally:
+            await server.close()
+        # the journal closed clean: every line parses
+        journal = tmp_path / "cache" / "journal" / "serve.jsonl"
+        lines = journal.read_text().splitlines()
+        assert len(lines) >= 2  # header + the compiled row
+        import json
+
+        for line in lines:
+            json.loads(line)
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------------------- loadgen
+def test_build_traffic_mix():
+    requests = build_traffic([1], fuzz_count=4, fuzz_seed=3)
+    by_path: Dict[str, int] = {}
+    for request in requests:
+        by_path[request["path"]] = by_path.get(request["path"], 0) + 1
+    assert by_path["/measure"] == 6 + 4  # smoke grid + fuzz stream
+    assert by_path["/compile"] == 3  # one clean, two admission rejects
+    assert by_path["/lint"] == 1
+    rejects = [r for r in requests if r["expect"] == "reject"]
+    assert len(rejects) == 2
+    assert all(r["path"] == "/compile" for r in rejects)
+    # deterministic: the same seed builds the same traffic
+    assert build_traffic([1], fuzz_count=4, fuzz_seed=3) == requests
