@@ -1,0 +1,26 @@
+# Convenience targets for the optional compiled kernels and the perf gates.
+# Everything works without `make`: the targets just name the canonical
+# commands (the kernels are plain C via ctypes — no Python.h, no Cython).
+
+PYTHON ?= python
+
+.PHONY: kernels test test-noext bench bench-guard clean
+
+kernels:
+	$(PYTHON) -m repro._kernels.build
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# same tier forced onto the pure-Python fallbacks
+test-noext:
+	REPRO_NO_EXT=1 $(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_perf.py
+
+bench-guard:
+	$(PYTHON) benchmarks/bench_perf.py --guard
+
+clean:
+	rm -f src/repro/_kernels/*.so

@@ -13,10 +13,17 @@ Results (per-point wall clock, bit-for-bit output checks, and aggregate
 speedups) are written to ``BENCH_perf.json`` at the repository root so future
 PRs have a perf trajectory to compare against.
 
+The ``kernels`` section times each batch kernel against its pure-Python
+fallback (compiled cancel fixpoint, compiled fold classifier, plan-batched
+``unitary``) and records the batch statistics behind the wins; the
+``--guard`` mode re-measures the per-pass breakdown and fails on any pass
+more than 25% slower than the committed ``BENCH_perf.json`` row.
+
 Run as a script::
 
     python benchmarks/bench_perf.py            # trimmed default range
     python benchmarks/bench_perf.py --quick    # CI smoke (seconds)
+    python benchmarks/bench_perf.py --guard    # regression gate vs baseline
     REPRO_FULL=1 python benchmarks/bench_perf.py   # deeper range
 
 or through pytest (``pytest benchmarks/bench_perf.py -s``).  The default and
@@ -184,6 +191,108 @@ def _passes_section(mode: str) -> list:
     return entries
 
 
+def _kernels_section(mode: str) -> dict:
+    """Per-kernel timings: compiled extension vs pure-Python fallbacks.
+
+    Times each batch kernel against its fallback on the same inputs —
+    the cancel fixpoint (C vs vectorized Python), the grouped phase fold
+    (compiled classifier vs wire-state sweep), and the plan-batched
+    ``unitary`` (one sweep per diagonal/permutation run vs per-gate) —
+    and records the batch statistics (stream sizes, distinct parities,
+    mix-run lengths) that explain the wins.  Purely informational: the
+    acceptance thresholds live in the seed-vs-current summary.
+    """
+    from repro import _kernels
+    from repro.benchsuite import get_entry, get_source
+    from repro.circopt.cancel import _cancel_to_fixpoint_pure
+    from repro.circopt.phase_poly import (
+        _fold_packed_keys_python,
+        _fold_stream,
+        _fold_stream_grouped,
+    )
+    from repro.circuit import statevector as sv
+    from repro.circuit.gatestream import GateStream
+    from repro.compiler import compile_source
+
+    name, depth = ("length", 2) if mode == "quick" else ("length", 4)
+    compiled = compile_source(
+        get_source(name), get_entry(name), depth, CONFIG, "spire"
+    )
+    ct = to_clifford_t(compiled.circuit)
+    gates = ct.gates
+
+    pure_s, pure_out = _timed(_cancel_to_fixpoint_pure, list(gates), 64, 20)
+    ext_s = ext_speedup = ext_identical = None
+    if _kernels.extension_available():
+        ext_s, ext_out = _timed(_kernels.cancel_fixpoint, list(gates), 64, 20)
+        ext_speedup = round(pure_s / ext_s, 2) if ext_s else None
+        ext_identical = ext_out == pure_out
+    cancel = {
+        "input": f"{name}@{depth} clifford+t",
+        "gates": len(gates),
+        "pure_seconds": round(pure_s, 4),
+        "extension_seconds": round(ext_s, 4) if ext_s is not None else None,
+        "extension_speedup": ext_speedup,
+        "identical_gates": ext_identical,
+    }
+
+    stream = GateStream.from_gates(gates, ct.num_qubits)
+    sweep_s, sweep_out = _timed(
+        _fold_stream, GateStream.from_gates(gates, ct.num_qubits)
+    )
+    grouped_s, grouped_out = _timed(_fold_stream_grouped, stream)
+    keys = _kernels.fold_classify(stream)
+    if keys is None:
+        keys = _fold_packed_keys_python(stream)
+    nonempty = keys[keys >= 0]
+    fold = {
+        "input": f"{name}@{depth} clifford+t",
+        "gates": len(gates),
+        "phase_gates": int(len(keys)),
+        "distinct_parities": int(len(np.unique(nonempty >> 1))),
+        "sweep_seconds": round(sweep_s, 4),
+        "grouped_seconds": round(grouped_s, 4),
+        "grouped_speedup": round(sweep_s / grouped_s, 2) if grouped_s else None,
+        "identical_gates": grouped_out == sweep_out,
+    }
+
+    n = 8 if mode == "quick" else 10
+    ladder = [toffoli(i, i + 1, i + 2) for i in range(n - 2)]
+    circ = to_clifford_t(Circuit(n, ladder * 4))
+    plan = sv._circuit_plan(circ)
+    run_lengths = [len(seg[1]) for seg in plan if seg[0] == "mix"]
+    batched_s, mat = _timed(sv.unitary, circ)
+
+    def per_gate_unitary():
+        out = np.eye(1 << n, dtype=np.complex128)
+        for gate in circ.gates:
+            out = sv.apply_gate(out, gate, n)
+        return out
+
+    pergate_s, ref_mat = _timed(per_gate_unitary)
+    statevector = {
+        "input": f"toffoli-ladder clifford+t ({n} qubits)",
+        "gates": len(circ.gates),
+        "mix_runs": len(run_lengths),
+        "mean_run_length": round(
+            sum(run_lengths) / len(run_lengths), 2
+        ) if run_lengths else 0.0,
+        "max_run_length": max(run_lengths, default=0),
+        "unitary_batched_seconds": round(batched_s, 4),
+        "unitary_per_gate_seconds": round(pergate_s, 4),
+        "unitary_speedup": round(pergate_s / batched_s, 2) if batched_s else None,
+        "allclose": bool(np.allclose(mat, ref_mat)),
+    }
+
+    return {
+        "extension_available": _kernels.extension_available(),
+        "extension_status": _kernels.extension_status(),
+        "cancel_fixpoint": cancel,
+        "phase_fold": fold,
+        "statevector": statevector,
+    }
+
+
 def collect(mode: str) -> dict:
     """Measure every point and return the report dict."""
     runner = BenchmarkRunner(CONFIG)
@@ -238,6 +347,7 @@ def collect(mode: str) -> dict:
 
     report["grid"] = _grid_section(mode)
     report["passes"] = _passes_section(mode)
+    report["kernels"] = _kernels_section(mode)
     report["summary"] = {
         "peephole_speedup": round(seed_totals["peephole"] / new_totals["peephole"], 2),
         "rotation_merge_speedup": round(
@@ -287,6 +397,13 @@ def _print_report(report: dict) -> None:
             f"[{entry['pipeline']}]: slowest={entry['slowest_pass']} "
             f"({breakdown})"
         )
+    kernels = report["kernels"]
+    print(
+        f"kernels: extension={'on' if kernels['extension_available'] else 'off'} "
+        f"cancel={kernels['cancel_fixpoint']['extension_speedup']}x "
+        f"fold={kernels['phase_fold']['grouped_speedup']}x "
+        f"unitary={kernels['statevector']['unitary_speedup']}x"
+    )
     for key, value in report["summary"].items():
         print(f"  {key}: {value}")
 
@@ -305,6 +422,13 @@ def _check(report: dict) -> list:
             failures.append(
                 f"pipeline {entry['pipeline']} produced no pass records"
             )
+    kernels = report["kernels"]
+    if kernels["cancel_fixpoint"]["identical_gates"] is False:
+        failures.append("compiled cancel kernel output differs from fallback")
+    if not kernels["phase_fold"]["identical_gates"]:
+        failures.append("grouped phase fold differs from reference sweep")
+    if not kernels["statevector"]["allclose"]:
+        failures.append("batched unitary differs from per-gate kernels")
     if report["mode"] == "quick":
         # CI smoke run: shared runners make wall-clock floors flaky, so the
         # quick mode only enforces the bit-for-bit output checks
@@ -320,6 +444,66 @@ def _check(report: dict) -> list:
     return failures
 
 
+#: Guard tolerances: a pass may regress up to 25% relative, and passes
+#: under the noise floor are never compared (CI runners jitter short
+#: timings far beyond any real regression signal).
+GUARD_SLOWDOWN = 1.25
+GUARD_FLOOR_SECONDS = 0.05
+
+
+def guard(baseline_path: pathlib.Path | None = None) -> list:
+    """Compare fresh per-pass timings against the committed baseline.
+
+    Re-measures the ``passes`` section and fails any pipeline pass that
+    is more than :data:`GUARD_SLOWDOWN` slower than the matching row in
+    the committed ``BENCH_perf.json`` (ignoring rows under the noise
+    floor on both sides).  Returns the list of failure strings; missing
+    baselines or layout changes degrade to a warning, not a failure, so
+    the guard never blocks the PR that reshapes the report.
+    """
+    path = baseline_path or (ROOT / "BENCH_perf.json")
+    if not path.exists():
+        print(f"guard: no baseline at {path}; nothing to compare", file=sys.stderr)
+        return []
+    baseline = json.loads(path.read_text())
+    base_passes = {
+        (e["benchmark"], e["depth"], e["pipeline"]): {
+            row["pass"]: row["seconds"] for row in e["passes"]
+        }
+        for e in baseline.get("passes", [])
+    }
+    if not base_passes:
+        print("guard: baseline has no passes section; skipping", file=sys.stderr)
+        return []
+    fresh = _passes_section(baseline.get("mode", "default"))
+    failures = []
+    compared = 0
+    for entry in fresh:
+        key = (entry["benchmark"], entry["depth"], entry["pipeline"])
+        base_rows = base_passes.get(key)
+        if base_rows is None:
+            continue
+        for row in entry["passes"]:
+            base_s = base_rows.get(row["pass"])
+            if base_s is None:
+                continue
+            floor = max(base_s, GUARD_FLOOR_SECONDS)
+            compared += 1
+            if row["seconds"] > floor * GUARD_SLOWDOWN + GUARD_FLOOR_SECONDS:
+                failures.append(
+                    f"pass {row['pass']} in {key[0]}@{key[1]} [{key[2]}]: "
+                    f"{row['seconds']:.4f}s vs baseline {base_s:.4f}s "
+                    f"(> {GUARD_SLOWDOWN:.2f}x + {GUARD_FLOOR_SECONDS}s floor)"
+                )
+            else:
+                print(
+                    f"guard ok: {row['pass']} {key[0]}@{key[1]} [{key[2]}] "
+                    f"{row['seconds']:.4f}s (baseline {base_s:.4f}s)"
+                )
+    print(f"guard: compared {compared} pass timings against {path.name}")
+    return failures
+
+
 def test_perf_speedups():
     report = collect(_mode())
     write_report(report)
@@ -328,6 +512,11 @@ def test_perf_speedups():
 
 
 def main() -> int:
+    if "--guard" in sys.argv[1:]:
+        failures = guard()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     report = collect(_mode())
     path = write_report(report)
     _print_report(report)

@@ -1,0 +1,88 @@
+"""Build the optional compiled kernels as a plain shared library.
+
+The kernels are deliberately free of any Python-API dependency — plain C
+compiled with whatever ``cc`` is on the PATH and loaded through
+:mod:`ctypes` — so building them needs no Cython, no dev headers, and no
+new packages:
+
+    python -m repro._kernels.build
+
+The shared object lands next to this file (``_cancel_kernel.so``) and is
+picked up automatically on the next import unless ``REPRO_NO_EXT=1`` is
+set.  Everything keeps working without it; the pure-Python kernels are
+the always-available fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+
+SOURCES = ("cancel.c", "fold.c")
+LIB_NAME = "_cancel_kernel.so"
+
+
+def library_path() -> Path:
+    """Where the compiled shared object lives (may not exist yet)."""
+    return _HERE / LIB_NAME
+
+
+def find_compiler() -> str | None:
+    """Locate a C compiler: ``$CC`` first, then ``gcc``/``cc``/``clang``."""
+    env_cc = os.environ.get("CC")
+    if env_cc:
+        found = shutil.which(env_cc)
+        if found:
+            return found
+    for name in ("gcc", "cc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def build(verbose: bool = True) -> bool:
+    """Compile the kernels; returns True on success.
+
+    Writes to a temp file and atomically replaces the target, so a
+    concurrent import never sees a half-written shared object.
+    """
+    cc = find_compiler()
+    if cc is None:
+        if verbose:
+            print("repro._kernels: no C compiler found (tried $CC, gcc, cc, clang)",
+                  file=sys.stderr)
+        return False
+    sources = [str(_HERE / name) for name in SOURCES]
+    fd, tmp_name = tempfile.mkstemp(suffix=".so", dir=str(_HERE))
+    os.close(fd)
+    cmd = [cc, "-O3", "-fPIC", "-shared", "-o", tmp_name, *sources]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            if verbose:
+                print(f"repro._kernels: build failed: {' '.join(cmd)}",
+                      file=sys.stderr)
+                print(proc.stderr, file=sys.stderr)
+            return False
+        os.replace(tmp_name, library_path())
+    finally:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+    if verbose:
+        print(f"repro._kernels: built {library_path()} with {cc}")
+    return True
+
+
+def main() -> int:
+    return 0 if build() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,266 @@
+/* Compiled inner kernel for phase folding (rotation merging).
+ *
+ * The Python side of ``repro.circopt.phase_poly`` folds rotations by
+ * grouping phase gates whose wires carry the same *parity* — an XOR of
+ * symbolic variables minted per wire and per barrier.  The grouping and
+ * arithmetic are whole-array numpy; the only sequential part is the wire
+ * state machine that answers, for each phase gate, "which parity (and
+ * affine constant) does its wire carry here?".  This kernel runs that
+ * state machine.
+ *
+ * Parities are represented exactly: each distinct parity is an interned
+ * sorted array of int32 variable ids in a grow-only pool, deduplicated
+ * through an FNV-hashed open-addressing table with full content
+ * comparison on collision (no probabilistic hashing — bit-identity with
+ * the reference sweep must hold with certainty, and the property tests
+ * in ``tests/test_kernels.py`` check it).  A CNOT two-pointer-merges the
+ * control parity into the target parity; a barrier mints a fresh
+ * singleton.  Equal parities get equal intern ids, which is all the
+ * numpy grouping stage needs.
+ *
+ * Output: for the j-th uncontrolled phase gate in stream order,
+ * ``out_keys[j] = intern_id * 2 + affine_const``, or ``-1`` when the
+ * parity is empty (a pure global phase, dropped by the reference too).
+ *
+ * Kind codes mirror ``repro.circuit.gatestream.KIND_CODES``:
+ *   MCX=0, H=1, SWAP=2, T=3, TDG=4, S=5, SDG=6, Z=7.
+ * Gates with 2+ controls are not representable in the fixed-width
+ * columns the caller passes, so the kernel declines (-2) and the caller
+ * falls back to the pure-Python sweep.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MCX_CODE 0
+#define SWAP_CODE 2
+
+typedef struct {
+    int64_t off;
+    int32_t len;
+    uint64_t hash;
+} SetRec;
+
+typedef struct {
+    int32_t *pool;
+    int64_t pool_len, pool_cap;
+    SetRec *sets;
+    int64_t nsets, sets_cap;
+    int64_t *table; /* slot holds id+1; 0 means empty */
+    int64_t table_mask;
+} Interner;
+
+static uint64_t set_hash(const int32_t *elems, int32_t len) {
+    uint64_t h = 1469598103934665603ULL;
+    for (int32_t i = 0; i < len; i++) {
+        h ^= (uint64_t)(uint32_t)elems[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+static int intern_reserve_pool(Interner *in, int64_t extra) {
+    if (in->pool_len + extra <= in->pool_cap) return 0;
+    int64_t cap = in->pool_cap;
+    while (cap < in->pool_len + extra) cap *= 2;
+    int32_t *grown = (int32_t *)realloc(in->pool, (size_t)cap * sizeof(int32_t));
+    if (grown == NULL) return -1;
+    in->pool = grown;
+    in->pool_cap = cap;
+    return 0;
+}
+
+/* Intern the sorted element array; returns the set id or -1 on OOM.
+ * ``elems`` may alias the end of the pool (see intern_xor). */
+static int64_t intern_lookup(Interner *in, const int32_t *elems, int32_t len) {
+    uint64_t h = set_hash(elems, len);
+    int64_t slot = (int64_t)(h & (uint64_t)in->table_mask);
+    for (;;) {
+        int64_t entry = in->table[slot];
+        if (entry == 0) break;
+        SetRec *rec = &in->sets[entry - 1];
+        if (rec->hash == h && rec->len == len &&
+            memcmp(in->pool + rec->off, elems, (size_t)len * sizeof(int32_t)) == 0) {
+            return entry - 1;
+        }
+        slot = (slot + 1) & in->table_mask;
+    }
+    if (in->nsets == in->sets_cap) {
+        int64_t cap = in->sets_cap * 2;
+        SetRec *grown = (SetRec *)realloc(in->sets, (size_t)cap * sizeof(SetRec));
+        if (grown == NULL) return -1;
+        in->sets = grown;
+        in->sets_cap = cap;
+    }
+    if (intern_reserve_pool(in, len) != 0) return -1;
+    int64_t id = in->nsets++;
+    SetRec *rec = &in->sets[id];
+    rec->off = in->pool_len;
+    rec->len = len;
+    rec->hash = h;
+    memmove(in->pool + in->pool_len, elems, (size_t)len * sizeof(int32_t));
+    in->pool_len += len;
+    in->table[slot] = id + 1;
+    return id;
+}
+
+/* XOR-merge two interned sets and intern the result. */
+static int64_t intern_xor(Interner *in, int64_t a, int64_t b,
+                          int32_t **scratch, int64_t *scratch_cap) {
+    SetRec ra = in->sets[a];
+    SetRec rb = in->sets[b];
+    int64_t need = (int64_t)ra.len + (int64_t)rb.len;
+    if (need > *scratch_cap) {
+        int64_t cap = *scratch_cap;
+        while (cap < need) cap *= 2;
+        int32_t *grown = (int32_t *)realloc(*scratch, (size_t)cap * sizeof(int32_t));
+        if (grown == NULL) return -1;
+        *scratch = grown;
+        *scratch_cap = cap;
+    }
+    const int32_t *pa = in->pool + ra.off;
+    const int32_t *pb = in->pool + rb.off;
+    int32_t ia = 0, ib = 0, k = 0;
+    int32_t *dst = *scratch;
+    while (ia < ra.len && ib < rb.len) {
+        int32_t va = pa[ia], vb = pb[ib];
+        if (va == vb) {
+            ia++;
+            ib++; /* cancels over GF(2) */
+        } else if (va < vb) {
+            dst[k++] = va;
+            ia++;
+        } else {
+            dst[k++] = vb;
+            ib++;
+        }
+    }
+    while (ia < ra.len) dst[k++] = pa[ia++];
+    while (ib < rb.len) dst[k++] = pb[ib++];
+    return intern_lookup(in, dst, k);
+}
+
+static int64_t next_pow2(int64_t v) {
+    int64_t p = 64;
+    while (p < v) p *= 2;
+    return p;
+}
+
+/* Classify every uncontrolled phase gate by (parity id, affine const).
+ *
+ * Columns: per-gate kind code, control count, first control (-1 when
+ * none), first/second target (-1 when absent), phase eighths (-1 for
+ * non-phase gates).  Returns the number of keys written, -1 on
+ * allocation failure, -2 on a gate the columns cannot describe (2+
+ * controls); on either negative return the caller must fall back.
+ */
+int64_t repro_fold_classify(
+    int64_t n,
+    const uint8_t *kinds, const int32_t *ncs,
+    const int32_t *ctrl0, const int32_t *tgt0, const int32_t *tgt1,
+    const int8_t *ph,
+    int64_t num_qubits,
+    int64_t *out_keys)
+{
+    Interner in;
+    int64_t status = -1;
+    int64_t *wire_key = NULL;
+    uint8_t *wire_const = NULL;
+    int32_t *scratch = NULL;
+    int64_t scratch_cap = 64;
+
+    /* new sets arise only from the initial wires, one per CNOT, and up
+     * to three fresh singletons per barrier gate */
+    int64_t max_sets = num_qubits + 3 * n + 2;
+    in.table_mask = next_pow2(2 * max_sets) - 1;
+    in.pool_cap = 4 * (num_qubits + n) + 64;
+    in.pool_len = 0;
+    in.sets_cap = num_qubits + n + 64;
+    in.nsets = 0;
+    in.pool = (int32_t *)malloc((size_t)in.pool_cap * sizeof(int32_t));
+    in.sets = (SetRec *)malloc((size_t)in.sets_cap * sizeof(SetRec));
+    in.table = (int64_t *)calloc((size_t)(in.table_mask + 1), sizeof(int64_t));
+    wire_key = (int64_t *)malloc((size_t)num_qubits * sizeof(int64_t));
+    wire_const = (uint8_t *)calloc((size_t)num_qubits, 1);
+    scratch = (int32_t *)malloc((size_t)scratch_cap * sizeof(int32_t));
+    if (in.pool == NULL || in.sets == NULL || in.table == NULL ||
+        wire_key == NULL || wire_const == NULL || scratch == NULL) {
+        goto done;
+    }
+
+    for (int32_t q = 0; q < num_qubits; q++) {
+        int64_t id = intern_lookup(&in, &q, 1);
+        if (id < 0) goto done;
+        wire_key[q] = id;
+    }
+    int32_t next_var = (int32_t)num_qubits;
+    int64_t written = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        if (ph[i] >= 0) { /* uncontrolled phase gate */
+            int32_t t = tgt0[i];
+            int64_t id = wire_key[t];
+            out_keys[written++] =
+                in.sets[id].len == 0 ? -1 : id * 2 + wire_const[t];
+            continue;
+        }
+        uint8_t kind = kinds[i];
+        int32_t nc = ncs[i];
+        if (kind == MCX_CODE) {
+            if (nc == 1) {
+                int32_t c = ctrl0[i];
+                int32_t t = tgt0[i];
+                int64_t id = intern_xor(&in, wire_key[t], wire_key[c],
+                                        &scratch, &scratch_cap);
+                if (id < 0) goto done;
+                wire_key[t] = id;
+                wire_const[t] ^= wire_const[c];
+                continue;
+            }
+            if (nc == 0) {
+                wire_const[tgt0[i]] ^= 1;
+                continue;
+            }
+        } else if (kind == SWAP_CODE && nc == 0) {
+            int32_t a = tgt0[i], b = tgt1[i];
+            int64_t tmpk = wire_key[a];
+            wire_key[a] = wire_key[b];
+            wire_key[b] = tmpk;
+            uint8_t tmpc = wire_const[a];
+            wire_const[a] = wire_const[b];
+            wire_const[b] = tmpc;
+            continue;
+        }
+        if (nc > 1) {
+            status = -2; /* columns cannot describe 2+ controls */
+            goto done;
+        }
+        /* barrier over the gate's qubits: controls first, then targets
+         * (fresh-variable order matches the reference sweep; only set
+         * equality matters downstream) */
+        int32_t qs[3];
+        int32_t nq_gate = 0;
+        if (nc == 1) qs[nq_gate++] = ctrl0[i];
+        qs[nq_gate++] = tgt0[i];
+        if (tgt1[i] >= 0) qs[nq_gate++] = tgt1[i];
+        for (int32_t j = 0; j < nq_gate; j++) {
+            int32_t q = qs[j];
+            int32_t var = next_var++;
+            int64_t id = intern_lookup(&in, &var, 1);
+            if (id < 0) goto done;
+            wire_key[q] = id;
+            wire_const[q] = 0;
+        }
+    }
+    status = written;
+
+done:
+    free(in.pool);
+    free(in.sets);
+    free(in.table);
+    free(wire_key);
+    free(wire_const);
+    free(scratch);
+    return status;
+}

@@ -5,28 +5,39 @@ incoming gate, scans backwards over already-emitted gates (through ones it
 commutes with, up to a window) looking for an inverse partner to annihilate
 or an uncontrolled phase gate on the same wire to merge with.
 
-The sweep runs on the packed form of :class:`~repro.circuit.gatestream.GateStream`:
-each gate is a small tuple of integers (kind code, inverse-kind code, qubit
-bitmasks, phase eighths) packed once per fixpoint iteration, so the
-window scan performs only integer comparisons and allocates nothing.  The
-output is gate-for-gate identical to the original pure-Python sweep (kept in
-:mod:`repro.reference`), which the property tests verify on random circuits.
+Two implementations produce gate-for-gate identical output (verified by the
+property tests against the frozen sweep in :mod:`repro.reference`):
 
-:class:`CliffordTPeephole` applies it to the fully decomposed Clifford+T
-circuit — this is the strategy of Qiskit and Pytket's peephole mode, and,
-as Section 8.5 explains via Figure 17, it *cannot* remove the residue of
-adjacent Toffoli gates once they are decomposed, so it does not repair the
-asymptotic T-complexity.  The test suite and benchmarks confirm this
-behaviour.
+* The compiled kernel in :mod:`repro._kernels` runs the entire fixpoint in
+  C over interned row ids and multi-word masks.  It is used when the shared
+  object is built and ``REPRO_NO_EXT=1`` is not set.
+* The pure-Python fallback packs each gate into a small tuple of integers
+  (kind code, inverse-kind code, qubit bitmasks, phase eighths) once per
+  fixpoint call and adds a vectorized pre-filter: a whole-array numpy match
+  over the stream's kind/ordinal arrays marks, in one shot, every gate that
+  has *no* inverse-pair or phase-merge candidate anywhere earlier in the
+  stream.  Those gates can never be placed — merging only ever moves phase
+  gates to positions of earlier phase gates on the same wire, so a gate
+  with no earlier candidate in the original order never gains one in later
+  passes — and the backward window scan is skipped for them entirely.
+
+:class:`CliffordTPeephole` applies the sweep to the fully decomposed
+Clifford+T circuit — this is the strategy of Qiskit and Pytket's peephole
+mode, and, as Section 8.5 explains via Figure 17, it *cannot* remove the
+residue of adjacent Toffoli gates once they are decomposed, so it does not
+repair the asymptotic T-complexity.  The test suite and benchmarks confirm
+this behaviour.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from ..circuit.circuit import Circuit
-from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, PHASE_KINDS, Gate, phase_gate
+from ..circuit.gates import EIGHTHS_TO_KINDS, PHASE_EIGHTHS, Gate, phase_gate
 from ..circuit.gatestream import (
     FIRST_PHASE_CODE,
     GateStream,
@@ -35,25 +46,76 @@ from ..circuit.gatestream import (
     MCX_CODE,
 )
 from .base import CircuitOptimizer, register
+from .. import _kernels
 
 #: Packed gate: (gate, kind, inverse_kind, ctrl_mask, tgt_mask, qubit_mask,
-#: phase_eighths) — ``phase_eighths`` is ``-1`` unless the gate is an
-#: uncontrolled phase gate.
-_Entry = Tuple[Gate, int, int, int, int, int, int]
+#: phase_eighths, placeable) — ``phase_eighths`` is ``-1`` unless the gate
+#: is an uncontrolled phase gate; ``placeable`` is False when the
+#: vectorized pre-filter proved no earlier partner exists.
+_Entry = Tuple[Gate, int, int, int, int, int, int, bool]
+
+_INVERSE_ARR = np.array(INVERSE_CODES, dtype=np.int64)
+
+
+def _placeable_flags(
+    kinds: np.ndarray, eighths: np.ndarray, ords: np.ndarray
+) -> np.ndarray:
+    """Vectorized window-match pre-filter over the packed stream.
+
+    A gate can only leave the stream by annihilating with an earlier gate
+    of inverse kind on the same ``(controls, targets)`` tuple, or — for an
+    uncontrolled phase gate — by merging with an earlier uncontrolled
+    phase gate on the same wire.  Both candidate sets are computed for the
+    whole array at once via first-occurrence indices of packed
+    ``(ordinal, kind)`` keys; gates with no candidate are excluded from
+    the scan loop for every subsequent pass.
+    """
+    n = len(ords)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    idx = np.arange(n, dtype=np.int64)
+    keys = ords * 8 + kinds
+    inv_keys = ords * 8 + _INVERSE_ARR[kinds]
+    uniq, first = np.unique(keys, return_index=True)
+    pos = np.minimum(np.searchsorted(uniq, inv_keys), len(uniq) - 1)
+    first_inv = np.where(uniq[pos] == inv_keys, first[pos], n)
+    placeable = first_inv < idx
+    phase_pos = np.nonzero(eighths >= 0)[0]
+    if len(phase_pos):
+        phase_ords = ords[phase_pos]
+        uniq_p, first_p = np.unique(phase_ords, return_index=True)
+        first_full = phase_pos[first_p]
+        placeable[phase_pos] |= (
+            first_full[np.searchsorted(uniq_p, phase_ords)] < phase_pos
+        )
+    return placeable
 
 
 def _pack(gates: List[Gate]) -> List[_Entry]:
     """Pack gates into integer tuples via the struct-of-arrays stream."""
     stream = GateStream.from_gates(gates)
+    intern: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+    ords = np.empty(len(gates), dtype=np.int64)
+    for i, gate in enumerate(stream.gates):
+        key = (gate.controls, gate.targets)
+        o = intern.get(key)
+        if o is None:
+            o = len(intern)
+            intern[key] = o
+        ords[i] = o
+    kinds = stream.kinds.astype(np.int64)
+    eighths = stream.phase_eighths
+    flags = _placeable_flags(kinds, eighths, ords)
     return [
-        (gate, kind, INVERSE_CODES[kind], cm, tm, qm, ph)
-        for gate, kind, cm, tm, qm, ph in zip(
+        (gate, kind, INVERSE_CODES[kind], cm, tm, qm, ph, flag)
+        for gate, kind, cm, tm, qm, ph, flag in zip(
             stream.gates,
             stream.kinds.tolist(),
             stream.ctrl_masks.tolist(),
             stream.tgt_masks.tolist(),
             stream.qubit_masks.tolist(),
             stream.phase_eighths.tolist(),
+            flags.tolist(),
         )
     ]
 
@@ -67,7 +129,7 @@ def _merged_phase_entries(eighths: int, target: int) -> Tuple[_Entry, ...]:
         code = KIND_CODES[kind]
         entries.append(
             (phase_gate(kind, target), code, INVERSE_CODES[code], 0, tm, tm,
-             PHASE_EIGHTHS[kind])
+             PHASE_EIGHTHS[kind], True)
         )
     return tuple(entries)
 
@@ -78,16 +140,20 @@ def _cancel_pass_packed(entries: List[_Entry], window: int) -> List[_Entry]:
     Mirrors the reference sweep exactly: inverse-pair check first, then
     uncontrolled-phase merge, then the commutation rules of
     :func:`~repro.circopt.base.gates_commute` inlined on the cached masks.
+    Gates the pre-filter proved unplaceable are emitted without scanning.
     """
     out: List[_Entry] = []
     for entry in entries:
-        gate, kind, _inv, cm, tm, qm, ph = entry
+        if not entry[7]:
+            out.append(entry)
+            continue
+        gate, kind, _inv, cm, tm, qm, ph, _flag = entry
         k = len(out) - 1
         steps = 0
         placed = False
         while k >= 0 and steps < window:
             prev = out[k]
-            pgate, pkind, pinv, pcm, ptm, pqm, pph = prev
+            pgate, pkind, pinv, pcm, ptm, pqm, pph, _pflag = prev
             if (
                 pinv == kind
                 and pcm == cm
@@ -140,12 +206,14 @@ def cancel_pass(gates: List[Gate], window: int = 64) -> List[Gate]:
     return [entry[0] for entry in _cancel_pass_packed(_pack(list(gates)), window)]
 
 
-def cancel_to_fixpoint(
-    gates: List[Gate], window: int = 64, max_passes: int = 20
+def _cancel_to_fixpoint_pure(
+    gates: List[Gate], window: int, max_passes: int
 ) -> List[Gate]:
-    """Iterate :func:`cancel_pass` until no gate is removed.
+    """Pure-Python fixpoint: pack once, reuse packed entries across passes.
 
-    Gates are packed once; subsequent passes reuse the packed entries.
+    The packed tuples (and their placeability flags) survive between
+    iterations — merged phase gates enter as pre-packed entries — so no
+    pass ever re-derives masks or re-runs the pre-filter.
     """
     current = _pack(list(gates))
     for _ in range(max_passes):
@@ -154,6 +222,22 @@ def cancel_to_fixpoint(
             return [entry[0] for entry in reduced]
         current = reduced
     return [entry[0] for entry in current]
+
+
+def cancel_to_fixpoint(
+    gates: List[Gate], window: int = 64, max_passes: int = 20
+) -> List[Gate]:
+    """Iterate :func:`cancel_pass` until no gate is removed.
+
+    Dispatches to the compiled kernel when available (see
+    :mod:`repro._kernels`); otherwise runs the vectorized pure-Python
+    sweep.  Both produce identical gate lists.
+    """
+    gates = list(gates)
+    result = _kernels.cancel_fixpoint(gates, window, max_passes)
+    if result is not None:
+        return result
+    return _cancel_to_fixpoint_pure(gates, window, max_passes)
 
 
 @register

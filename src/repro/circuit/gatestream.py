@@ -87,6 +87,7 @@ class GateStream:
         "tgt_masks",
         "qubit_masks",
         "phase_eighths",
+        "_fold_cols",
     )
 
     def __init__(
@@ -108,6 +109,7 @@ class GateStream:
         self.tgt_masks = tgt_masks
         self.qubit_masks = qubit_masks
         self.phase_eighths = phase_eighths
+        self._fold_cols: tuple | None = None
 
     # -------------------------------------------------------------- building
     @classmethod
@@ -151,6 +153,35 @@ class GateStream:
             qubit_masks,
             phase_eighths,
         )
+
+    # ------------------------------------------------------------ columns
+    def fold_columns(self):
+        """Fixed-width qubit columns ``(ctrl0, tgt0, tgt1)`` (int32, lazy).
+
+        Per gate: first control, first target, second target — ``-1``
+        when absent.  Gates with two or more controls are not fully
+        described (consumers must check ``num_controls``); the compiled
+        fold kernel declines such streams and the pure-Python sweep,
+        which reads the retained :class:`Gate` objects, takes over.
+        Computed on first use and cached on the stream.
+        """
+        cols = self._fold_cols
+        if cols is None:
+            n = len(self.gates)
+            ctrl0 = np.full(n, -1, dtype=np.int32)
+            tgt0 = np.full(n, -1, dtype=np.int32)
+            tgt1 = np.full(n, -1, dtype=np.int32)
+            for i, gate in enumerate(self.gates):
+                controls = gate.controls
+                if controls:
+                    ctrl0[i] = controls[0]
+                targets = gate.targets
+                tgt0[i] = targets[0]
+                if len(targets) > 1:
+                    tgt1[i] = targets[1]
+            cols = (ctrl0, tgt0, tgt1)
+            self._fold_cols = cols
+        return cols
 
     # ------------------------------------------------------------ unpacking
     def to_gates(self) -> List[Gate]:

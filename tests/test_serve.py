@@ -54,7 +54,11 @@ def test_status_contract(tmp_path):
         async with _server(tmp_path) as server:
             async with Client(server.host, server.port) as client:
                 status, body = await client.get("/healthz")
-                assert (status, body) == (200, {"ok": True})
+                assert status == 200 and body["ok"] is True
+                # health reports whether the compiled kernels are loaded
+                from repro import _kernels
+
+                assert body["compiled_kernels"] == _kernels.extension_available()
 
                 status, body = await client.post(
                     "/lint", {"source": INLINE_OK}
